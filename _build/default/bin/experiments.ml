@@ -1,0 +1,58 @@
+(* Run the E1-E10 validation experiments and print their tables.
+
+   Usage: experiments [--quick] [--seed N] [ids...]
+   With no ids, runs everything in order. *)
+
+let usage () =
+  prerr_endline "usage: experiments [--quick] [--seed N] [E1 E2 ...]";
+  exit 2
+
+let () =
+  let quick = ref false in
+  let seed = ref 1234 in
+  let ids = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--seed" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some s ->
+        seed := s;
+        parse rest
+      | None -> usage ())
+    | "--help" :: _ -> usage ()
+    | id :: rest ->
+      ids := id :: !ids;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let entries =
+    match List.rev !ids with
+    | [] -> Fn_experiments.Registry.all
+    | names ->
+      List.map
+        (fun name ->
+          match Fn_experiments.Registry.find name with
+          | Some e -> e
+          | None ->
+            Printf.eprintf "unknown experiment %S\n" name;
+            exit 2)
+        names
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun (e : Fn_experiments.Registry.entry) ->
+      let started = Unix.gettimeofday () in
+      let outcome = e.Fn_experiments.Registry.run ~quick:!quick ~seed:!seed () in
+      let elapsed = Unix.gettimeofday () -. started in
+      print_string (Fn_experiments.Outcome.render outcome);
+      Printf.printf "  (%.1fs)\n\n" elapsed;
+      if not (Fn_experiments.Outcome.all_passed outcome) then incr failures)
+    entries;
+  if !failures > 0 then begin
+    Printf.printf "%d experiment(s) had failing checks\n" !failures;
+    exit 1
+  end
+  else print_endline "All experiment checks passed."

@@ -1,0 +1,1 @@
+examples/adversarial_attack.ml: Adversary Components Fault_set Fn_expansion Fn_faults Fn_graph Fn_prng Fn_topology Graph Printf

@@ -1,0 +1,1 @@
+examples/emulation.ml: Bitset Faultnet Fn_expansion Fn_faults Fn_graph Fn_prng Fn_topology List Printf

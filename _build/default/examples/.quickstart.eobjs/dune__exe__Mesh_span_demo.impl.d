@@ -1,0 +1,1 @@
+examples/mesh_span_demo.ml: Array Bitset Faultnet Fn_graph Fn_prng Fn_topology Printf

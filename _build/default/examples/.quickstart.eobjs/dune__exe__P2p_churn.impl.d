@@ -1,0 +1,1 @@
+examples/p2p_churn.ml: Bitset Faultnet Fn_expansion Fn_faults Fn_graph Fn_prng Fn_topology Graph List Printf

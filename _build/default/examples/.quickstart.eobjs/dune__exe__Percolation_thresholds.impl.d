@@ -1,0 +1,1 @@
+examples/percolation_thresholds.ml: Fn_graph Fn_percolation Fn_prng Fn_topology List Printf Threshold

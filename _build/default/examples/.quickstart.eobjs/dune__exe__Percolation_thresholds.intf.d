@@ -1,0 +1,1 @@
+examples/percolation_thresholds.mli:

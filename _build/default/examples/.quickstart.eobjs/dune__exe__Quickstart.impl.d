@@ -1,0 +1,1 @@
+examples/quickstart.ml: Components Faultnet Fn_expansion Fn_faults Fn_graph Fn_prng Fn_topology Graph Printf

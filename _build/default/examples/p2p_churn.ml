@@ -1,0 +1,46 @@
+(* Peer-to-peer churn: the paper's motivating application.
+
+   A CAN overlay (Ratnasamy et al.) in steady state behaves like a
+   d-dimensional mesh, so by Theorems 3.4 + 3.6 it tolerates a fault
+   probability inversely polynomial in d without losing expansion.
+   This example grows CANs of increasing dimension, kills random
+   peers, prunes, and shows the survivor keeps its bandwidth shape.
+
+   Run with:  dune exec examples/p2p_churn.exe *)
+
+open Fn_graph
+
+let () =
+  let rng = Fn_prng.Rng.create 99 in
+  let n = 256 in
+  let p_churn = 0.05 in
+  Printf.printf "CAN overlays with %d peers, churn p = %.2f\n\n" n p_churn;
+  Printf.printf "%-3s %-7s %-8s %-9s %-7s %-9s %-10s\n" "d" "maxdeg" "balance" "alpha_e"
+    "kept" "exp(H)" "thy budget";
+  List.iter
+    (fun d ->
+      let can = Fn_topology.Can.build rng ~d ~n in
+      let g = Fn_topology.Can.graph can in
+      let alpha_e =
+        (Fn_expansion.Estimate.run ~rng g Fn_expansion.Cut.Edge).Fn_expansion.Estimate.value
+      in
+      let faults = Fn_faults.Random_faults.nodes_iid rng g p_churn in
+      let delta = Graph.max_degree g in
+      let epsilon = min 0.45 (Faultnet.Theorem.thm34_max_epsilon ~delta) in
+      let res =
+        Faultnet.Prune2.run ~rng g ~alive:faults.Fn_faults.Fault_set.alive ~alpha_e ~epsilon
+      in
+      let kept = Bitset.cardinal res.Faultnet.Prune2.kept in
+      let exp_h =
+        match Faultnet.Report.survivor_expansion g res.Faultnet.Prune2.kept Fn_expansion.Cut.Edge with
+        | Some v -> v
+        | None -> 0.0
+      in
+      Printf.printf "%-3d %-7d %-8.1f %-9.4f %-7d %-9.4f %-10.1e\n" d delta
+        (Fn_topology.Can.balance can) alpha_e kept exp_h
+        (Faultnet.Theorem.mesh_fault_budget ~d))
+    [ 2; 3; 4; 5 ];
+  print_endline "";
+  print_endline "balance  = max/min zone volume (1 = perfectly mesh-like)";
+  print_endline "kept     = peers surviving churn + pruning (out of 256)";
+  print_endline "thy budget = worst-case tolerable p from Theorems 3.4+3.6 (conservative)"

@@ -1,0 +1,1 @@
+lib/expansion/cut.ml: Bitset Boundary Fn_graph Format

@@ -1,0 +1,1 @@
+lib/expansion/cut.mli: Bitset Fn_graph Format Graph

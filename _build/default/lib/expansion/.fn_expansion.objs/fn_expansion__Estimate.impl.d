@@ -1,0 +1,1 @@
+lib/expansion/estimate.ml: Array Bfs Bitset Components Cut Exact Fn_graph Fn_prng Fun Graph List Local_search Rng Spectral Sweep

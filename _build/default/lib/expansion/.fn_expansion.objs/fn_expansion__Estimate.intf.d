@@ -1,0 +1,1 @@
+lib/expansion/estimate.mli: Bitset Cut Fn_graph Fn_prng Graph Rng

@@ -1,0 +1,1 @@
+lib/expansion/exact.ml: Array Bitset Cut Fn_graph Graph

@@ -1,0 +1,1 @@
+lib/expansion/exact.mli: Cut Fn_graph Graph

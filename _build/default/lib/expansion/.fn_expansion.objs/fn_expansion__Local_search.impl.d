@@ -1,0 +1,1 @@
+lib/expansion/local_search.ml: Bitset Cut Fn_graph Graph Hashtbl List

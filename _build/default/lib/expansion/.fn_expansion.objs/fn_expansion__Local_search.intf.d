@@ -1,0 +1,1 @@
+lib/expansion/local_search.mli: Bitset Cut Fn_graph Graph

@@ -1,0 +1,1 @@
+lib/expansion/spectral.ml: Array Bitset Fn_graph Graph List

@@ -1,0 +1,1 @@
+lib/expansion/spectral.mli: Bitset Fn_graph Graph

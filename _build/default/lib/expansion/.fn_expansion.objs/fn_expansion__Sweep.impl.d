@@ -1,0 +1,1 @@
+lib/expansion/sweep.ml: Array Bitset Cut Fn_graph Graph Spectral

@@ -1,0 +1,1 @@
+lib/expansion/sweep.mli: Bitset Cut Fn_graph Graph

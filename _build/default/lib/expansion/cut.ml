@@ -1,0 +1,19 @@
+open Fn_graph
+
+type objective = Node | Edge
+
+type t = { set : Bitset.t; value : float; objective : objective }
+
+let value_of ?alive g objective u =
+  match objective with
+  | Node -> Boundary.node_expansion ?alive g u
+  | Edge -> Boundary.edge_expansion ?alive g u
+
+let make ?alive g objective u =
+  { set = Bitset.copy u; value = value_of ?alive g objective u; objective }
+
+let better a b = if b.value < a.value then b else a
+
+let pp fmt t =
+  let kind = match t.objective with Node -> "node" | Edge -> "edge" in
+  Format.fprintf fmt "cut(|U|=%d, %s-expansion=%.4f)" (Bitset.cardinal t.set) kind t.value

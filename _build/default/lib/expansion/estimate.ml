@@ -1,0 +1,110 @@
+open Fn_graph
+open Fn_prng
+
+type t = {
+  value : float;
+  witness : Bitset.t;
+  objective : Cut.objective;
+  exact : bool;
+  lower : float option;
+}
+
+let alive_nodes ?alive g =
+  match alive with
+  | Some m -> Bitset.to_array m
+  | None -> Array.init (Graph.num_nodes g) Fun.id
+
+let disconnected_witness ?alive g =
+  let comps = Components.compute ?alive g in
+  if comps.Components.count <= 1 then None
+  else begin
+    (* smallest component is a zero-boundary witness *)
+    let smallest = ref 0 in
+    for id = 1 to comps.Components.count - 1 do
+      if comps.Components.sizes.(id) < comps.Components.sizes.(!smallest) then smallest := id
+    done;
+    Some (Components.members comps !smallest)
+  end
+
+let ball_candidates ?alive g rng samples =
+  let nodes = alive_nodes ?alive g in
+  let total = Array.length nodes in
+  let out = ref [] in
+  if total >= 2 then begin
+    let half = total / 2 in
+    for _ = 1 to samples do
+      let src = nodes.(Rng.int rng total) in
+      let size = ref 2 in
+      while !size <= half do
+        let ball = Bfs.ball_of_size ?alive g src !size in
+        let c = Bitset.cardinal ball in
+        if c >= 1 && 2 * c <= total then out := ball :: !out;
+        size := !size * 2
+      done
+    done
+  end;
+  !out
+
+let run ?alive ?rng ?(samples = 8) ?(local_search_passes = 4) ?(force_heuristic = false) g
+    objective =
+  let rng = match rng with Some r -> r | None -> Rng.create 0xFA17 in
+  let nodes = alive_nodes ?alive g in
+  let total = Array.length nodes in
+  if total < 2 then invalid_arg "Estimate.run: need at least 2 alive nodes";
+  match disconnected_witness ?alive g with
+  | Some w -> { value = 0.0; witness = w; objective; exact = true; lower = Some 0.0 }
+  | None ->
+    let use_exact =
+      (not force_heuristic) && alive = None && Graph.num_nodes g <= Exact.max_nodes
+    in
+    if use_exact then begin
+      let cut =
+        match objective with
+        | Cut.Node -> Exact.node_expansion g
+        | Cut.Edge -> Exact.edge_expansion g
+      in
+      { value = cut.Cut.value; witness = cut.Cut.set; objective; exact = true; lower = Some cut.Cut.value }
+    end
+    else begin
+      let spectral = Spectral.lambda2 ?alive g in
+      (* sweep the Fiedler pair and two 45-degree rotations: when the
+         lambda2 eigenspace is degenerate (square meshes, tori) the
+         single power-iteration vector is an arbitrary rotation of the
+         axis modes, and one of these four recovers a near-axis cut *)
+      let f1, f2 = Spectral.fiedler_pair ?alive g in
+      let rotate a b op = Array.init (Array.length a) (fun i -> op a.(i) b.(i)) in
+      let scores =
+        [ f1; f2; rotate f1 f2 ( +. ); rotate f1 f2 ( -. ) ]
+      in
+      let sweep =
+        match List.map (fun score -> Sweep.best_prefix ?alive g ~score objective) scores with
+        | first :: rest -> List.fold_left Cut.better first rest
+        | [] -> assert false
+      in
+      let candidates =
+        List.filter_map
+          (fun set ->
+            match Cut.value_of ?alive g objective set with
+            | v -> Some { Cut.set; value = v; objective }
+            | exception Invalid_argument _ -> None)
+          (ball_candidates ?alive g rng samples)
+      in
+      let best = List.fold_left Cut.better sweep candidates in
+      let refined =
+        if local_search_passes > 0 then
+          Local_search.improve ?alive ~max_passes:local_search_passes g best
+        else best
+      in
+      let lower =
+        match objective with
+        | Cut.Edge ->
+          let phi_lb = Spectral.cheeger_lower spectral in
+          Some (Spectral.conductance_to_edge_expansion_lb g phi_lb)
+        | Cut.Node -> None
+      in
+      { value = refined.Cut.value; witness = refined.Cut.set; objective; exact = false; lower }
+    end
+
+let node ?alive ?rng g = run ?alive ?rng g Cut.Node
+
+let edge ?alive ?rng g = run ?alive ?rng g Cut.Edge

@@ -1,0 +1,42 @@
+open Fn_graph
+open Fn_prng
+
+(** Combined expansion estimator.
+
+    Expansion is NP-hard to compute and even hard to approximate, so
+    on graphs beyond {!Exact.max_nodes} we report the best *witness*
+    found by a portfolio of heuristics — an upper bound on the true
+    expansion, the direction that matters when checking the paper's
+    lower-bound guarantees:
+
+    - the spectral sweep cut (with Cheeger certificates in [lower]);
+    - BFS balls of geometrically spaced sizes around sampled nodes
+      (optimal for meshes and other locally flat graphs);
+    - FM-style local search refinement of the best candidate.
+
+    On graphs small enough, {!Exact} is used and [exact] is set. *)
+
+type t = {
+  value : float;  (** best (smallest) expansion witnessed *)
+  witness : Bitset.t;
+  objective : Cut.objective;
+  exact : bool;
+  lower : float option;  (** certified lower bound, when available *)
+}
+
+val run :
+  ?alive:Bitset.t ->
+  ?rng:Rng.t ->
+  ?samples:int ->
+  ?local_search_passes:int ->
+  ?force_heuristic:bool ->
+  Graph.t ->
+  Cut.objective ->
+  t
+(** Defaults: [samples] 8, [local_search_passes] 4, [rng] seeded with
+    0xFA17, [force_heuristic] false (use {!Exact} when feasible).
+    Requires >= 2 alive nodes.  A disconnected alive set yields value
+    0 with a component witness. *)
+
+val node : ?alive:Bitset.t -> ?rng:Rng.t -> Graph.t -> t
+val edge : ?alive:Bitset.t -> ?rng:Rng.t -> Graph.t -> t

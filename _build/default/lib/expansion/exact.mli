@@ -1,0 +1,28 @@
+open Fn_graph
+
+(** Exact expansion by exhaustive subset enumeration.
+
+    Feasible up to ~22 nodes (the node-expansion variant uses an
+    O(2^n)-word table of neighbourhood masks).  This is the ground
+    truth that validates every heuristic in {!Estimate}. *)
+
+val max_nodes : int
+(** Hard limit (22). *)
+
+val node_expansion : Graph.t -> Cut.t
+(** Minimum |Γ(U)|/|U| over nonempty U with |U| <= n/2.  Requires
+    [2 <= n <= max_nodes].  Returns 0 with a component witness for
+    disconnected graphs. *)
+
+val edge_expansion : Graph.t -> Cut.t
+(** Minimum |(U,V\U)|/min(|U|,|V\U|) over proper nonempty U.  Same
+    size limits. *)
+
+val edge_isoperimetric_profile : Graph.t -> int array
+(** [profile.(s)] = min |(U, V\U)| over all U with |U| = s+1, for
+    s+1 <= n/2 — the edge-isoperimetric profile. *)
+
+val node_isoperimetric_profile : Graph.t -> int array
+(** [profile.(s)] = min |Γ(U)| over all U with |U| = s+1, for
+    s+1 <= n/2 — the full vertex-isoperimetric profile.  Same size
+    limits as {!node_expansion}. *)

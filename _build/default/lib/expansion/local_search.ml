@@ -1,0 +1,48 @@
+open Fn_graph
+
+let improve ?alive ?(max_passes = 20) g cut =
+  let is_alive v = match alive with None -> true | Some m -> Bitset.mem m v in
+  let n = Graph.num_nodes g in
+  let total =
+    match alive with None -> n | Some m -> Bitset.cardinal m
+  in
+  let u = Bitset.copy cut.Cut.set in
+  let evaluate set =
+    try Some (Cut.value_of ?alive g cut.Cut.objective set) with Invalid_argument _ -> None
+  in
+  let current = ref cut.Cut.value in
+  let improved_once = ref true in
+  let passes = ref 0 in
+  while !improved_once && !passes < max_passes do
+    improved_once := false;
+    incr passes;
+    (* candidate moves: alive nodes adjacent to the cut frontier *)
+    let candidates = ref [] in
+    Bitset.iter
+      (fun v ->
+        candidates := v :: !candidates;
+        Graph.iter_neighbors g v (fun w ->
+            if is_alive w && not (Bitset.mem u w) then candidates := w :: !candidates))
+      u;
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun v ->
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          if is_alive v then begin
+            let inside = Bitset.mem u v in
+            let size = Bitset.cardinal u in
+            let new_size = if inside then size - 1 else size + 1 in
+            if new_size >= 1 && 2 * new_size <= total then begin
+              Bitset.set u v (not inside);
+              match evaluate u with
+              | Some value when value < !current -. 1e-12 ->
+                current := value;
+                improved_once := true
+              | _ -> Bitset.set u v inside
+            end
+          end
+        end)
+      !candidates
+  done;
+  { Cut.set = u; value = !current; objective = cut.Cut.objective }

@@ -1,0 +1,14 @@
+open Fn_graph
+
+(** Local improvement of a cut by single-node moves.
+
+    Classic Fiduccia–Mattheyses-style hill climbing restricted to
+    moves that keep U the small side: repeatedly apply the best
+    expansion-reducing move (inserting a boundary node into U or
+    evicting a member) until a pass yields no improvement or the pass
+    budget runs out.  This is an upper-bound refiner: the result is
+    never worse than the input cut. *)
+
+val improve :
+  ?alive:Bitset.t -> ?max_passes:int -> Graph.t -> Cut.t -> Cut.t
+(** Defaults: [max_passes] 20. *)

@@ -1,0 +1,110 @@
+open Fn_graph
+
+type result = { lambda2 : float; fiedler : float array; iterations : int }
+
+let power_iteration ?alive ?(max_iter = 1000) ?(tol = 1e-9) g ~deflate_against =
+  let n = Graph.num_nodes g in
+  let is_alive v = match alive with None -> true | Some m -> Bitset.mem m v in
+  let deg = Array.make n 0 in
+  for v = 0 to n - 1 do
+    if is_alive v then
+      deg.(v) <- (match alive with None -> Graph.degree g v | Some m -> Graph.alive_degree g m v)
+  done;
+  let sqrt_deg = Array.map (fun d -> sqrt (float_of_int d)) deg in
+  (* trivial eigenvector of 2I - L: D^{1/2} 1, normalized *)
+  let v1 = Array.make n 0.0 in
+  let norm1 = sqrt (Array.fold_left (fun acc d -> acc +. float_of_int d) 0.0 deg) in
+  if norm1 > 0.0 then
+    for v = 0 to n - 1 do
+      if is_alive v then v1.(v) <- sqrt_deg.(v) /. norm1
+    done;
+  let apply src dst =
+    for v = 0 to n - 1 do
+      if is_alive v then begin
+        if deg.(v) = 0 then dst.(v) <- src.(v)
+        else begin
+          let acc = ref 0.0 in
+          Graph.iter_neighbors g v (fun w ->
+              if is_alive w && deg.(w) > 0 then acc := !acc +. (src.(w) /. sqrt_deg.(w)));
+          dst.(v) <- src.(v) +. (!acc /. sqrt_deg.(v))
+        end
+      end
+      else dst.(v) <- 0.0
+    done
+  in
+  let dot a b =
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (a.(i) *. b.(i))
+    done;
+    !acc
+  in
+  let basis = v1 :: deflate_against in
+  let deflate y =
+    List.iter
+      (fun u ->
+        let c = dot y u in
+        for i = 0 to n - 1 do
+          y.(i) <- y.(i) -. (c *. u.(i))
+        done)
+      basis
+  in
+  let normalize y =
+    let nrm = sqrt (dot y y) in
+    if nrm > 0.0 then
+      for i = 0 to n - 1 do
+        y.(i) <- y.(i) /. nrm
+      done;
+    nrm
+  in
+  (* deterministic pseudo-random start; offset by the deflation depth
+     so the second vector starts elsewhere *)
+  let phase = 1 + List.length deflate_against in
+  let y =
+    Array.init n (fun i ->
+        if is_alive i then cos (float_of_int (((i + phase) * 7919) + phase)) else 0.0)
+  in
+  deflate y;
+  ignore (normalize y);
+  let z = Array.make n 0.0 in
+  let iterations = ref 0 in
+  (try
+     for it = 1 to max_iter do
+       iterations := it;
+       apply y z;
+       deflate z;
+       ignore (normalize z);
+       let diff = ref 0.0 in
+       for i = 0 to n - 1 do
+         diff := !diff +. abs_float (z.(i) -. y.(i))
+       done;
+       Array.blit z 0 y 0 n;
+       if !diff < tol then raise Exit
+     done
+   with Exit -> ());
+  apply y z;
+  let mu_final = dot y z in
+  let lambda = 2.0 -. mu_final in
+  let embedding =
+    Array.init n (fun v -> if is_alive v && deg.(v) > 0 then y.(v) /. sqrt_deg.(v) else 0.0)
+  in
+  (max 0.0 lambda, y, embedding, !iterations)
+
+let lambda2 ?alive ?max_iter ?tol g =
+  let lambda2, _, fiedler, iterations =
+    power_iteration ?alive ?max_iter ?tol g ~deflate_against:[]
+  in
+  { lambda2; fiedler; iterations }
+
+let fiedler_pair ?alive ?max_iter ?tol g =
+  let _, y1, f1, _ = power_iteration ?alive ?max_iter ?tol g ~deflate_against:[] in
+  let _, _, f2, _ = power_iteration ?alive ?max_iter ?tol g ~deflate_against:[ y1 ] in
+  (f1, f2)
+
+let cheeger_lower r = r.lambda2 /. 2.0
+
+let cheeger_upper r = sqrt (2.0 *. r.lambda2)
+
+let conductance_to_edge_expansion_lb g phi =
+  let dmin = Graph.min_degree g in
+  phi *. float_of_int dmin /. 2.0

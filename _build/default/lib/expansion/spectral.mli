@@ -1,0 +1,45 @@
+open Fn_graph
+
+(** Spectral machinery: the algebraic connectivity of the normalized
+    Laplacian and the Fiedler embedding that drives sweep cuts.
+
+    For a connected graph, the normalized Laplacian
+    L = I - D^{-1/2} A D^{-1/2} has eigenvalues
+    0 = λ₁ < λ₂ <= ... <= 2, and the Cheeger inequality sandwiches
+    the conductance φ:  λ₂/2 <= φ <= sqrt(2 λ₂).  For a d-regular
+    graph, edge expansion = φ·d on balanced cuts, giving cheap
+    two-sided bounds that our tests check against {!Exact}. *)
+
+type result = {
+  lambda2 : float;  (** algebraic connectivity of the normalized Laplacian *)
+  fiedler : float array;  (** the embedding x = D^{-1/2} y₂, zero for dead nodes *)
+  iterations : int;
+}
+
+val lambda2 : ?alive:Bitset.t -> ?max_iter:int -> ?tol:float -> Graph.t -> result
+(** Power iteration on 2I - L with deflation of the trivial
+    eigenvector; O(max_iter * m).  The alive mask restricts the
+    operator to the induced subgraph.  Isolated alive nodes are
+    permitted (they contribute λ = 1 rows); the graph restricted to
+    [alive] should be connected for λ₂ to have its usual meaning.
+    Defaults: [max_iter] 1000, [tol] 1e-9. *)
+
+val fiedler_pair : ?alive:Bitset.t -> ?max_iter:int -> ?tol:float -> Graph.t -> float array * float array
+(** Two orthogonal embeddings spanning the bottom of the spectrum:
+    the Fiedler vector and a second vector deflated against it.  When
+    λ₂ is (near-)degenerate — e.g. the row and column modes of a
+    square mesh — a single power-iteration vector is an arbitrary mix
+    of the eigenspace; sweeping several rotations of the pair recovers
+    the axis-aligned cuts (see {!Estimate}). *)
+
+val cheeger_lower : result -> float
+(** λ₂ / 2 — a certified lower bound on conductance. *)
+
+val cheeger_upper : result -> float
+(** sqrt(2 λ₂) — the Cheeger upper bound on conductance. *)
+
+val conductance_to_edge_expansion_lb : Graph.t -> float -> float
+(** [conductance_to_edge_expansion_lb g phi] turns a conductance lower
+    bound into an edge-expansion lower bound via the minimum degree:
+    αe >= φ · d_min / 2 on balanced cuts (vol(U) >= d_min·|U| and
+    min side has volume <= vol(G)/2). *)

@@ -1,0 +1,59 @@
+open Fn_graph
+
+let best_prefix ?alive g ~score objective =
+  let n = Graph.num_nodes g in
+  if Array.length score <> n then invalid_arg "Sweep.best_prefix: score length mismatch";
+  let is_alive v = match alive with None -> true | Some m -> Bitset.mem m v in
+  let order =
+    let nodes = ref [] in
+    for v = n - 1 downto 0 do
+      if is_alive v then nodes := v :: !nodes
+    done;
+    let arr = Array.of_list !nodes in
+    Array.sort (fun a b -> compare (score.(a), a) (score.(b), b)) arr;
+    arr
+  in
+  let total = Array.length order in
+  if total < 2 then invalid_arg "Sweep.best_prefix: need at least 2 alive nodes";
+  let in_u = Array.make n false in
+  (* count.(w): neighbours of w currently inside U *)
+  let count = Array.make n 0 in
+  let node_boundary = ref 0 in
+  let edge_boundary = ref 0 in
+  let best_val = ref infinity and best_k = ref 1 in
+  for k = 0 to total - 1 do
+    let v = order.(k) in
+    (* v enters U *)
+    if count.(v) > 0 then decr node_boundary;
+    in_u.(v) <- true;
+    Graph.iter_neighbors g v (fun w ->
+        if is_alive w then begin
+          if in_u.(w) then edge_boundary := !edge_boundary - 1
+          else begin
+            edge_boundary := !edge_boundary + 1;
+            if count.(w) = 0 then incr node_boundary
+          end;
+          count.(w) <- count.(w) + 1
+        end);
+    let size = k + 1 in
+    if 2 * size <= total then begin
+      let value =
+        match objective with
+        | Cut.Node -> float_of_int !node_boundary /. float_of_int size
+        | Cut.Edge -> float_of_int !edge_boundary /. float_of_int (min size (total - size))
+      in
+      if value < !best_val then begin
+        best_val := value;
+        best_k := size
+      end
+    end
+  done;
+  let set = Bitset.create n in
+  for k = 0 to !best_k - 1 do
+    Bitset.add set order.(k)
+  done;
+  { Cut.set; value = !best_val; objective }
+
+let spectral_cut ?alive g objective =
+  let r = Spectral.lambda2 ?alive g in
+  best_prefix ?alive g ~score:r.Spectral.fiedler objective

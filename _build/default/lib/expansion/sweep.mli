@@ -1,0 +1,16 @@
+open Fn_graph
+
+(** Sweep cuts: order nodes by a score (typically the Fiedler vector)
+    and take the best prefix.
+
+    Both boundary sizes are maintained incrementally, so a full sweep
+    costs O(m + n log n) and simultaneously finds the best prefix for
+    the node- and edge-expansion objectives. *)
+
+val best_prefix : ?alive:Bitset.t -> Graph.t -> score:float array -> Cut.objective -> Cut.t
+(** Best expansion over all prefixes [1 <= k <= alive/2] of the
+    ascending-score order, restricted to alive nodes.  Raises
+    [Invalid_argument] if fewer than 2 alive nodes. *)
+
+val spectral_cut : ?alive:Bitset.t -> Graph.t -> Cut.objective -> Cut.t
+(** Convenience: Fiedler vector + {!best_prefix}. *)

@@ -1,0 +1,1 @@
+lib/experiments/e01_prune_adversarial.ml: Adversary Bitset Fault_set Faultnet Fn_faults Fn_graph Fn_prng Fn_stats List Outcome Printf Rng Workload

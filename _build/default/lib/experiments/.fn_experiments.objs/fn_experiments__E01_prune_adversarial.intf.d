@@ -1,0 +1,1 @@
+lib/experiments/e01_prune_adversarial.mli: Outcome

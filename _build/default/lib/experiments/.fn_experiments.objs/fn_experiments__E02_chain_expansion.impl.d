@@ -1,0 +1,1 @@
+lib/experiments/e02_chain_expansion.ml: Fn_graph Fn_prng Fn_stats Fn_topology Graph List Outcome Printf Rng Workload

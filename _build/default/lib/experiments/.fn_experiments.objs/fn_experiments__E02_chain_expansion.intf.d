@@ -1,0 +1,1 @@
+lib/experiments/e02_chain_expansion.mli: Outcome

@@ -1,0 +1,1 @@
+lib/experiments/e03_chain_attack.ml: Adversary Array Components Fault_set Faultnet Float Fn_faults Fn_graph Fn_prng Fn_stats Fn_topology Graph List Outcome Printf Rng Workload

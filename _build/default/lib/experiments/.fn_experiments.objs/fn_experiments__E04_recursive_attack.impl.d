@@ -1,0 +1,1 @@
+lib/experiments/e04_recursive_attack.ml: Adversary Fault_set Fn_faults Fn_prng Fn_stats Fn_topology List Outcome Printf Rng

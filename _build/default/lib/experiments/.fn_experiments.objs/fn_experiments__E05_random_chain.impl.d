@@ -1,0 +1,1 @@
+lib/experiments/e05_random_chain.ml: Fault_set Faultnet Fn_faults Fn_prng Fn_stats Fn_topology List Outcome Printf Random_faults Rng Workload

@@ -1,0 +1,1 @@
+lib/experiments/e05_random_chain.mli: Outcome

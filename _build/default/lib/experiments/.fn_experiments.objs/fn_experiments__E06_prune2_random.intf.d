@@ -1,0 +1,1 @@
+lib/experiments/e06_prune2_random.mli: Outcome

@@ -1,0 +1,1 @@
+lib/experiments/e07_mesh_span.ml: Array Faultnet Fn_graph Fn_prng Fn_stats Fn_topology List Outcome Printf Rng String Workload

@@ -1,0 +1,1 @@
+lib/experiments/e07_mesh_span.mli: Outcome

@@ -1,0 +1,1 @@
+lib/experiments/e08_percolation.ml: Fn_graph Fn_percolation Fn_prng Fn_stats Fn_topology List Outcome Printf Rng Threshold

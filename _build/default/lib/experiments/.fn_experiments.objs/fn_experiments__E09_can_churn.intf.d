@@ -1,0 +1,1 @@
+lib/experiments/e09_can_churn.mli: Outcome

@@ -1,0 +1,1 @@
+lib/experiments/e10_span_conjecture.ml: Faultnet Fn_graph Fn_prng Fn_stats Fn_topology Hashtbl List Outcome Printf Rng

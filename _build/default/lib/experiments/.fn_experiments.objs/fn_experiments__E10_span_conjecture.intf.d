@@ -1,0 +1,1 @@
+lib/experiments/e10_span_conjecture.mli: Outcome

@@ -1,0 +1,1 @@
+lib/experiments/e11_routing.ml: Components Demand Fault_set Float Fn_faults Fn_graph Fn_prng Fn_routing Fn_stats Fn_topology Graph Hashtbl Outcome Printf Random_faults Rng Route Sim Workload

@@ -1,0 +1,1 @@
+lib/experiments/e12_embedding.ml: Bitset Fault_set Faultnet Fn_faults Fn_graph Fn_prng Fn_stats Fn_topology Graph List Outcome Printf Random_faults Rng Workload

@@ -1,0 +1,1 @@
+lib/experiments/e13_multibutterfly.ml: Array Bitset Fault_set Fn_faults Fn_graph Fn_prng Fn_stats Fn_topology Graph List Outcome Printf Queue Random_faults Rng Workload

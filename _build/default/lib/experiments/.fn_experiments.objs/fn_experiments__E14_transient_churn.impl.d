@@ -1,0 +1,1 @@
+lib/experiments/e14_transient_churn.ml: Bitset Churn Fault_set Faultnet Fn_faults Fn_graph Fn_prng Fn_stats Fn_topology Graph List Outcome Printf Rng Workload

@@ -1,0 +1,1 @@
+lib/experiments/outcome.ml: Buffer Fn_stats List Printf

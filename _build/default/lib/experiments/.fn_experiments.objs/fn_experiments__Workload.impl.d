@@ -1,0 +1,1 @@
+lib/experiments/workload.ml: Components Fn_expansion Fn_graph Fn_topology Graph List

@@ -1,0 +1,1 @@
+lib/experiments/workload.mli: Bitset Fn_graph Fn_prng Graph Rng

@@ -1,0 +1,10 @@
+(** E1 — Theorem 2.1: Prune under adversarial faults.
+
+    On random 6-regular expanders, for each adversary (random,
+    degree-targeted, ball-isolation) and k in {2, 4}, spend the
+    maximum budget f = α·n/(4k) allowed by the theorem, run Prune(1 -
+    1/k), and check the two guarantees: |H| >= n - k·f/α and
+    node-expansion(H) >= (1 - 1/k)·α (measured by the heuristic
+    estimator, with α the estimator's value on the pristine graph). *)
+
+val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t

@@ -1,0 +1,8 @@
+(** E2 — Claim 2.4: the chain-replacement graph H(G, k) has node
+    expansion Θ(1/k).
+
+    Builds H(G, k) over a random 4-regular base for a ladder of chain
+    lengths and checks that (measured expansion)·k stays within a
+    constant window, i.e. the log-log slope of expansion vs k is ≈ -1. *)
+
+val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t

@@ -1,0 +1,10 @@
+(** E3 — Theorem 2.3: Θ(α·n) adversarial faults shatter the chain
+    graph, while the same budget of random faults barely dents the
+    base expander.
+
+    Sweeps the chain-center attack budget from 0 to one-per-edge and
+    reports the largest-component fraction, against (a) the theorem's
+    post-attack component bound δk/2 + 1 at full budget and (b) the
+    same number of random faults on the chain graph. *)
+
+val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t

@@ -1,0 +1,9 @@
+(** E4 — Theorem 2.5: graphs of uniform expansion α(·) shatter under
+    O(log(1/ε)/ε · α(n) · n) recursive-cut faults.
+
+    Runs the constructive adversary on 2-D meshes (uniform expansion
+    Θ(1/side)) and checks (a) every final fragment is below ε·n and
+    (b) the number of faults spent stays below the theorem's budget
+    shape C·log(1/ε)/ε·α(n)·n for a modest constant C. *)
+
+val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t

@@ -1,0 +1,10 @@
+(** E5 — Theorem 3.1: random faults with p = Θ(α) disintegrate the
+    chain-replacement graph, so expansion alone cannot predict
+    random-fault resilience.
+
+    Sweeps the fault probability in multiples of the proof's
+    p* = 4·ln δ / k on H(G, k) and, as a control, applies the same p
+    to the base expander: the chain graph's largest component
+    collapses while the expander's stays near 1 - p. *)
+
+val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t

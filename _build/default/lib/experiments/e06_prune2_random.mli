@@ -1,0 +1,11 @@
+(** E6 — Theorem 3.4: Prune2 under random faults.
+
+    On 2-D and 3-D tori (degree δ = 2d, span σ = 2 by Theorem 3.6),
+    sweeps the fault probability from the theorem's admissible bound
+    p <= 1/(2e·δ^{4σ}) up through realistic values and checks the
+    guarantee |H| >= n/2 with edge expansion >= ε·α_e (ε = 1/(2δ)).
+    The theoretical p is microscopically conservative, so the
+    interesting measurement is how far beyond it the guarantee keeps
+    holding — the experiment reports that crossover. *)
+
+val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t

@@ -1,0 +1,10 @@
+(** E7 — Theorem 3.6: the d-dimensional mesh has span <= 2.
+
+    Two regimes: exhaustive enumeration of every compact set on small
+    meshes (exact span, exact Steiner trees where the boundary is
+    small), and Monte-Carlo compact sets on larger meshes pushed
+    through the explicit virtual-edge construction of the proof —
+    which must produce a connected (B, E_v) (Lemma 3.7) and a tree of
+    at most 2(|B| - 1) mesh edges, every single time. *)
+
+val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t

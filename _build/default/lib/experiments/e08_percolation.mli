@@ -1,0 +1,11 @@
+(** E8 — Section 1.1 calibration: classical percolation thresholds.
+
+    Reproduces the table of critical probabilities the paper quotes:
+    complete graph 1/(n-1) (Erdős–Rényi, up to the γ-level constant),
+    sparse random graph with d·n/2 edges → 1/d, 2-D mesh bond → 1/2
+    (Kesten), hypercube bond → 1/dim (Ajtai–Komlós–Szemerédi).  The
+    check is that measured crossings land within a factor window of
+    the theory values — finite-size effects and the γ-level constant
+    preclude equality. *)
+
+val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t

@@ -1,0 +1,11 @@
+(** E9 — Conclusion: CAN overlays tolerate a fault probability
+    "inversely polynomial in d" without losing their expansion.
+
+    Grows CAN overlays of several dimensions, applies node faults at
+    probabilities far above the worst-case Theorem 3.4 budget, runs
+    Prune2 on the survivors, and reports survivor size and edge
+    expansion relative to the fault-free overlay.  The d-dimensional
+    torus of matching size is reported alongside, confirming the
+    "CAN ≈ mesh in steady state" premise. *)
+
+val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t

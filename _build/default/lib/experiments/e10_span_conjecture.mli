@@ -1,0 +1,9 @@
+(** E10 — Open problem: the paper conjectures the butterfly,
+    shuffle-exchange and de Bruijn networks have span O(1).
+
+    Monte-Carlo evidence: sample compact sets across sizes in each
+    family and track the largest |P(U)|/|Γ(U)| ratio seen.  A bounded,
+    non-growing maximum across sizes supports the conjecture (this is
+    a lower estimate of the true span — supporting, not proving). *)
+
+val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t

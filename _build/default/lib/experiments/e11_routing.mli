@@ -1,0 +1,12 @@
+(** E11 — the paper's motivation, §1.3: expansion predicts surviving
+    *bandwidth*, not just connectivity.
+
+    Routes a random-permutation workload on the pruned survivor of
+    three networks under the same relative fault budget: an expander
+    (Theorem 2.1 regime: everything keeps working), the
+    chain-replacement graph (Theorem 2.3 regime: routability
+    collapses), and a mesh (in between).  Reported: routable fraction,
+    mean stretch vs the fault-free routing, static congestion, and the
+    store-and-forward makespan. *)
+
+val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t

@@ -1,0 +1,12 @@
+(** E12 — Section 1.2: emulating the fault-free network on the faulty
+    one.
+
+    Self-embeds a 2-D mesh into its pruned survivor across a sweep of
+    fault probabilities and reports the Leighton–Maggs–Rao triple
+    (load, congestion, dilation) whose sum bounds the emulation
+    slowdown.  Cole–Maggs–Sitaraman claim the mesh supports constant
+    slowdown for constant p; the check here is the empirical shape:
+    the bound stays flat and small for p well past the paper's
+    worst-case budget. *)
+
+val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t

@@ -1,0 +1,12 @@
+(** E13 — Section 1.1 background: butterflies vs multibutterflies
+    under faults (Leighton–Maggs; Upfal).
+
+    The classical results the paper builds on: a multibutterfly with f
+    worst-case faults keeps n - O(f) inputs connected to n - O(f)
+    outputs, while the plain butterfly is far more fragile because
+    every input-output pair is served by a single path.  We measure,
+    for matched sizes and fault counts (random and degree-targeted),
+    the fraction of inputs that can still reach at least half the
+    surviving outputs. *)
+
+val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t

@@ -1,0 +1,11 @@
+(** E14 — §1.3's transient-fault regime: expansion as a trajectory
+    under continuous churn.
+
+    Runs the on/off churn process on a torus at a stationary dead
+    fraction of ~10%, snapshots the network over time, and at each
+    snapshot prunes and measures the survivor.  The paper's static
+    theorems say each snapshot individually keeps a large,
+    well-expanding core; the trajectory view checks that this holds
+    *sustained* — the minimum over time, not just the mean. *)
+
+val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t

@@ -1,0 +1,21 @@
+type t = {
+  id : string;
+  title : string;
+  table : Fn_stats.Table.t;
+  checks : (string * bool) list;
+  notes : string list;
+}
+
+let all_passed t = List.for_all snd t.checks
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "=== %s: %s ===\n" t.id t.title);
+  Buffer.add_string buf (Fn_stats.Table.to_string t.table);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (name, ok) ->
+      Buffer.add_string buf (Printf.sprintf "  [%s] %s\n" (if ok then "PASS" else "FAIL") name))
+    t.checks;
+  List.iter (fun note -> Buffer.add_string buf (Printf.sprintf "  note: %s\n" note)) t.notes;
+  Buffer.contents buf

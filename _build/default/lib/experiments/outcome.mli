@@ -1,0 +1,14 @@
+(** Result envelope shared by all experiments. *)
+
+type t = {
+  id : string;  (** "E1" ... "E10" *)
+  title : string;
+  table : Fn_stats.Table.t;
+  checks : (string * bool) list;  (** named pass/fail assertions *)
+  notes : string list;
+}
+
+val all_passed : t -> bool
+
+val render : t -> string
+(** Title, table, check list, notes — ready to print. *)

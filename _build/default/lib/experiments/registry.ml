@@ -1,0 +1,67 @@
+type entry = {
+  id : string;
+  title : string;
+  run : ?quick:bool -> ?seed:int -> unit -> Outcome.t;
+}
+
+let all =
+  [
+    {
+      id = "E1";
+      title = "Thm 2.1: Prune under adversarial faults";
+      run = E01_prune_adversarial.run;
+    };
+    {
+      id = "E2";
+      title = "Claim 2.4: chain graph expansion Theta(1/k)";
+      run = E02_chain_expansion.run;
+    };
+    {
+      id = "E3";
+      title = "Thm 2.3: chain-center attack shatters H(G,k)";
+      run = E03_chain_attack.run;
+    };
+    {
+      id = "E4";
+      title = "Thm 2.5: recursive-cut attack on uniform expansion";
+      run = E04_recursive_attack.run;
+    };
+    {
+      id = "E5";
+      title = "Thm 3.1: random faults disintegrate the chain graph";
+      run = E05_random_chain.run;
+    };
+    { id = "E6"; title = "Thm 3.4: Prune2 under random faults"; run = E06_prune2_random.run };
+    { id = "E7"; title = "Thm 3.6: mesh span <= 2"; run = E07_mesh_span.run };
+    { id = "E8"; title = "Sec 1.1: percolation thresholds"; run = E08_percolation.run };
+    { id = "E9"; title = "Conclusion: CAN under churn"; run = E09_can_churn.run };
+    {
+      id = "E10";
+      title = "Open problem: span of butterfly/deBruijn/shuffle-exchange";
+      run = E10_span_conjecture.run;
+    };
+    {
+      id = "E11";
+      title = "Motivation: routing a permutation through faulty networks";
+      run = E11_routing.run;
+    };
+    {
+      id = "E12";
+      title = "Sec 1.2: mesh self-embedding slowdown (LMR)";
+      run = E12_embedding.run;
+    };
+    {
+      id = "E13";
+      title = "Sec 1.1: butterfly vs multibutterfly under faults";
+      run = E13_multibutterfly.run;
+    };
+    {
+      id = "E14";
+      title = "Transient churn: sustained expansion over time";
+      run = E14_transient_churn.run;
+    };
+  ]
+
+let find name =
+  let target = String.lowercase_ascii name in
+  List.find_opt (fun e -> String.lowercase_ascii e.id = target) all

@@ -1,0 +1,14 @@
+(** Name → experiment dispatch used by bin/experiments and the bench
+    harness. *)
+
+type entry = {
+  id : string;
+  title : string;
+  run : ?quick:bool -> ?seed:int -> unit -> Outcome.t;
+}
+
+val all : entry list
+(** E1 through E10, in order. *)
+
+val find : string -> entry option
+(** Case-insensitive lookup by id ("e3" finds E3). *)

@@ -1,0 +1,21 @@
+open Fn_graph
+open Fn_prng
+
+(** Shared workload builders and measurement helpers for E1-E10. *)
+
+val expander : Rng.t -> n:int -> d:int -> Graph.t
+(** Connected random d-regular graph — the stand-in for the paper's
+    expander family G(n). *)
+
+val gamma_of_alive : Graph.t -> Bitset.t -> float
+(** Largest alive component size / original node count. *)
+
+val node_expansion_estimate : Rng.t -> ?alive:Bitset.t -> Graph.t -> float
+(** Portfolio upper-bound estimate (see {!Fn_expansion.Estimate}). *)
+
+val edge_expansion_estimate : Rng.t -> ?alive:Bitset.t -> Graph.t -> float
+
+val mean_of : float list -> float
+
+val bool_cell : bool -> string
+(** "yes" / "NO" for table cells. *)

@@ -1,0 +1,1 @@
+lib/faultnet/compact.ml: Array Bitset Boundary Components Dfs Fn_graph Fn_prng Graph List Rng

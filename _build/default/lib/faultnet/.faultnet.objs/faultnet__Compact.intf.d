@@ -1,0 +1,1 @@
+lib/faultnet/compact.mli: Bitset Fn_graph Fn_prng Graph Rng

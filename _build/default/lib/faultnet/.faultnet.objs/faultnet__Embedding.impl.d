@@ -1,0 +1,1 @@
+lib/faultnet/embedding.ml: Array Bfs Bitset Fn_graph Graph Hashtbl List Queue

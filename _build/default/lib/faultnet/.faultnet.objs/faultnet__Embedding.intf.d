@@ -1,0 +1,1 @@
+lib/faultnet/embedding.mli: Bitset Fn_graph Graph

@@ -1,0 +1,1 @@
+lib/faultnet/low_expansion.ml: Array Bitset Components Cut Estimate Exact Fn_expansion Fn_graph Fn_prng Graph Rng Subgraph

@@ -1,0 +1,1 @@
+lib/faultnet/low_expansion.mli: Bitset Fn_expansion Fn_graph Fn_prng Graph Rng

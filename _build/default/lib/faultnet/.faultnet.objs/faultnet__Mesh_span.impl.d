@@ -1,0 +1,1 @@
+lib/faultnet/mesh_span.ml: Array Bitset Boundary Compact Fn_graph Fn_topology Hashtbl List Mesh Queue

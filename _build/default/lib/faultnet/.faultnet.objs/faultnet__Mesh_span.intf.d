@@ -1,0 +1,1 @@
+lib/faultnet/mesh_span.mli: Bitset Fn_graph Fn_topology Graph Mesh

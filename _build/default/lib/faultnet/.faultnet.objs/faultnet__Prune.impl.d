@@ -1,0 +1,1 @@
+lib/faultnet/prune.ml: Bitset Boundary Fn_expansion Fn_graph List Low_expansion

@@ -1,0 +1,1 @@
+lib/faultnet/prune2.ml: Bitset Boundary Compact Components Dfs Fn_expansion Fn_graph List Low_expansion

@@ -1,0 +1,1 @@
+lib/faultnet/prune2.mli: Bitset Fn_graph Fn_prng Graph Low_expansion Rng

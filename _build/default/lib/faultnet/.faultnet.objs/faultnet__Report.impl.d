@@ -1,0 +1,1 @@
+lib/faultnet/report.ml: Bitset Fn_expansion Fn_graph Printf Prune Prune2

@@ -1,0 +1,1 @@
+lib/faultnet/report.mli: Bitset Fn_expansion Fn_graph Graph Prune Prune2

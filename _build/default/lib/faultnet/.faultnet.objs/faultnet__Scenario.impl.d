@@ -1,0 +1,1 @@
+lib/faultnet/scenario.ml: Array Bitset Components Embedding Fn_expansion Fn_faults Fn_graph Fn_prng Fn_routing Graph Printf Prune2 Report Rng String Theorem

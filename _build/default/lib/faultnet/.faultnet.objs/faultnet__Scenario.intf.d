@@ -1,0 +1,1 @@
+lib/faultnet/scenario.mli: Fn_faults Fn_graph Fn_prng Graph Rng

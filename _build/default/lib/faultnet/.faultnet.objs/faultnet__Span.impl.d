@@ -1,0 +1,1 @@
+lib/faultnet/span.ml: Bitset Boundary Compact Fn_graph Fn_prng Graph List Rng Steiner

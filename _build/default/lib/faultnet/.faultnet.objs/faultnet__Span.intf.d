@@ -1,0 +1,1 @@
+lib/faultnet/span.mli: Bitset Fn_graph Fn_prng Graph Rng Steiner

@@ -1,0 +1,1 @@
+lib/faultnet/theorem.mli:

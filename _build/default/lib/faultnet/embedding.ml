@@ -1,0 +1,79 @@
+open Fn_graph
+
+type t = {
+  node_map : int array;
+  load : int;
+  dilation : int;
+  congestion : int;
+  unmapped : int;
+  unrouted : int;
+}
+
+let self_embed g ~kept =
+  let n = Graph.num_nodes g in
+  if Bitset.is_empty kept then invalid_arg "Embedding.self_embed: empty survivor";
+  (* nearest-survivor map: BFS from all survivors at once, tracking the
+     owning source *)
+  let owner = Array.make n (-1) in
+  let queue = Queue.create () in
+  Bitset.iter
+    (fun v ->
+      owner.(v) <- v;
+      Queue.add v queue)
+    kept;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Graph.iter_neighbors g u (fun w ->
+        if owner.(w) < 0 then begin
+          owner.(w) <- owner.(u);
+          Queue.add w queue
+        end)
+  done;
+  let unmapped = Array.fold_left (fun acc o -> if o < 0 then acc + 1 else acc) 0 owner in
+  let load_tbl = Hashtbl.create 256 in
+  Array.iter
+    (fun o ->
+      if o >= 0 then
+        Hashtbl.replace load_tbl o (1 + try Hashtbl.find load_tbl o with Not_found -> 0))
+    owner;
+  let load = Hashtbl.fold (fun _ c acc -> max acc c) load_tbl 0 in
+  (* edge images: shortest path inside kept between the two images,
+     one BFS per distinct image source *)
+  let parents_cache = Hashtbl.create 64 in
+  let parents_of src =
+    match Hashtbl.find_opt parents_cache src with
+    | Some p -> p
+    | None ->
+      let p = Bfs.tree ~alive:kept g src in
+      Hashtbl.add parents_cache src p;
+      p
+  in
+  let edge_use = Hashtbl.create 1024 in
+  let bump_edge a b =
+    let key = if a < b then (a, b) else (b, a) in
+    Hashtbl.replace edge_use key (1 + try Hashtbl.find edge_use key with Not_found -> 0)
+  in
+  let dilation = ref 0 in
+  let unrouted = ref 0 in
+  Graph.iter_edges g (fun u v ->
+      let iu = owner.(u) and iv = owner.(v) in
+      if iu < 0 || iv < 0 then incr unrouted
+      else if iu <> iv then begin
+        let parents = parents_of iu in
+        match Bfs.path_to ~parents iv with
+        | path ->
+          let len = List.length path - 1 in
+          if len > !dilation then dilation := len;
+          let rec walk = function
+            | a :: (b :: _ as rest) ->
+              bump_edge a b;
+              walk rest
+            | _ -> ()
+          in
+          walk path
+        | exception Not_found -> incr unrouted
+      end);
+  let congestion = Hashtbl.fold (fun _ c acc -> max acc c) edge_use 0 in
+  { node_map = owner; load; dilation = !dilation; congestion; unmapped; unrouted = !unrouted }
+
+let slowdown_bound t = t.load + t.congestion + t.dilation

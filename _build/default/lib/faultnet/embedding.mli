@@ -1,0 +1,30 @@
+open Fn_graph
+
+(** Static self-embedding of a fault-free network into its faulty
+    survivor (Section 1.2 of the paper).
+
+    Every node of G is mapped to its nearest surviving node of the
+    kept set H; every edge (u, v) of G becomes a shortest path in the
+    surviving subgraph between the images of u and v.  The quality
+    triple (load, congestion, dilation) bounds the emulation slowdown:
+    Leighton, Maggs & Rao show G can be emulated on H with slowdown
+    O(load + congestion + dilation). *)
+
+type t = {
+  node_map : int array;  (** image of every G-node; [-1] if unreachable from H *)
+  load : int;  (** max G-nodes mapped to one survivor *)
+  dilation : int;  (** longest edge-image path *)
+  congestion : int;  (** max edge-image paths over one surviving edge *)
+  unmapped : int;  (** G-nodes with no surviving image *)
+  unrouted : int;  (** G-edges whose images are disconnected in H *)
+}
+
+val self_embed : Graph.t -> kept:Bitset.t -> t
+(** [self_embed g ~kept] embeds g into its induced subgraph on [kept].
+    Requires [kept] non-empty.  Node maps follow multi-source BFS in
+    the full graph (dead nodes route to the closest survivor);
+    edge paths stay inside [kept]. *)
+
+val slowdown_bound : t -> int
+(** load + congestion + dilation — the LMR emulation bound (up to its
+    hidden constant). *)

@@ -1,0 +1,53 @@
+open Fn_graph
+open Fn_prng
+open Fn_expansion
+
+type t = alive:Bitset.t -> Graph.t -> threshold:float -> Bitset.t option
+
+let exact_limit = 18
+
+let small_component ~alive g =
+  let comps = Components.compute ~alive g in
+  if comps.Components.count <= 1 then None
+  else begin
+    let smallest = ref 0 in
+    for id = 1 to comps.Components.count - 1 do
+      if comps.Components.sizes.(id) < comps.Components.sizes.(!smallest) then smallest := id
+    done;
+    let total = Bitset.cardinal alive in
+    if 2 * comps.Components.sizes.(!smallest) <= total then
+      Some (Components.members comps !smallest)
+    else None
+  end
+
+let exact_on_fragment objective ~alive g ~threshold =
+  let sub = Subgraph.induce g alive in
+  let n = Graph.num_nodes sub.Subgraph.graph in
+  if n < 2 then None
+  else begin
+    let cut =
+      match objective with
+      | Cut.Node -> Exact.node_expansion sub.Subgraph.graph
+      | Cut.Edge -> Exact.edge_expansion sub.Subgraph.graph
+    in
+    if cut.Cut.value <= threshold then Some (Subgraph.lift_set sub cut.Cut.set) else None
+  end
+
+let exact objective ~alive g ~threshold =
+  if Bitset.cardinal alive > exact_limit then
+    invalid_arg "Low_expansion.exact: fragment too large";
+  exact_on_fragment objective ~alive g ~threshold
+
+let default ?rng objective ~alive g ~threshold =
+  let size = Bitset.cardinal alive in
+  if size < 2 then None
+  else
+    match small_component ~alive g with
+    | Some s -> Some s
+    | None ->
+      if size <= exact_limit then exact_on_fragment objective ~alive g ~threshold
+      else begin
+        let rng = match rng with Some r -> r | None -> Rng.create 0x10E5 in
+        let est = Estimate.run ~alive ~rng g objective in
+        if est.Estimate.value <= threshold then Some est.Estimate.witness else None
+      end

@@ -1,0 +1,26 @@
+open Fn_graph
+open Fn_prng
+
+(** Finders for low-expansion sets — the "∃ S_i ⊆ G_i" oracle inside
+    the paper's pruning algorithms.
+
+    The paper's algorithms are existential (they assume the oracle);
+    this module realizes it: exactly on small fragments, by the
+    {!Fn_expansion.Estimate} portfolio on larger ones.  A finder
+    returns a witness set [S] with expansion at most the threshold
+    and [|S| <= |alive|/2], or [None] when it cannot find one.  A
+    [None] from the heuristic finder does not prove absence — the
+    pruning loop documents the resulting one-sidedness. *)
+
+type t = alive:Bitset.t -> Graph.t -> threshold:float -> Bitset.t option
+
+val exact_limit : int
+(** Fragment size up to which the exact finder is used (18). *)
+
+val default : ?rng:Rng.t -> Fn_expansion.Cut.objective -> t
+(** Portfolio finder: disconnected fragments yield a small component
+    immediately; fragments of at most {!exact_limit} alive nodes are
+    solved exactly; larger ones use the heuristic estimator. *)
+
+val exact : Fn_expansion.Cut.objective -> t
+(** Exact only; raises [Invalid_argument] beyond {!exact_limit}. *)

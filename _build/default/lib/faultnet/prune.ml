@@ -1,0 +1,58 @@
+open Fn_graph
+
+type culled = { set : Bitset.t; size : int; boundary : int }
+
+type result = {
+  kept : Bitset.t;
+  culled : culled list;
+  iterations : int;
+  threshold : float;
+}
+
+let run ?finder ?rng g ~alive ~alpha ~epsilon =
+  if alpha <= 0.0 then invalid_arg "Prune.run: alpha must be positive";
+  if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Prune.run: need 0 < epsilon < 1";
+  let finder =
+    match finder with
+    | Some f -> f
+    | None -> Low_expansion.default ?rng Fn_expansion.Cut.Node
+  in
+  let threshold = alpha *. epsilon in
+  let current = Bitset.copy alive in
+  let culled = ref [] in
+  let iterations = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if Bitset.cardinal current < 2 then continue := false
+    else
+      match finder ~alive:current g ~threshold with
+      | None -> continue := false
+      | Some s ->
+        incr iterations;
+        let size = Bitset.cardinal s in
+        let boundary = Boundary.node_boundary_size ~alive:current g s in
+        assert (size >= 1);
+        assert (Bitset.subset s current);
+        culled := { set = s; size; boundary } :: !culled;
+        Bitset.diff_into current s
+  done;
+  { kept = current; culled = List.rev !culled; iterations = !iterations; threshold }
+
+let total_culled r = List.fold_left (fun acc c -> acc + c.size) 0 r.culled
+
+let verify_certificates g ~alive r =
+  let current = Bitset.copy alive in
+  let ok = ref true in
+  List.iter
+    (fun c ->
+      let total = Bitset.cardinal current in
+      if not (Bitset.subset c.set current) then ok := false;
+      let size = Bitset.cardinal c.set in
+      if size <> c.size || 2 * size > total then ok := false;
+      let boundary = Boundary.node_boundary_size ~alive:current g c.set in
+      if boundary <> c.boundary then ok := false;
+      if float_of_int boundary > (r.threshold *. float_of_int size) +. 1e-9 then ok := false;
+      Bitset.diff_into current c.set)
+    r.culled;
+  if not (Bitset.equal current r.kept) then ok := false;
+  !ok

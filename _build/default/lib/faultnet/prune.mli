@@ -1,0 +1,49 @@
+open Fn_graph
+open Fn_prng
+
+(** Algorithm [Prune(ε)] — Figure 1 of the paper.
+
+    Starting from the faulty graph G_f (an alive mask over G), while
+    there is a set S_i in the current graph G_i with
+    |Γ(S_i)| <= α·ε·|S_i| and |S_i| <= |G_i|/2, remove S_i.  Theorem
+    2.1: with ε = 1 - 1/k and at most f <= α·n/(4k) adversarial
+    faults, the surviving H has at least n - k·f/α nodes and node
+    expansion at least (1 - 1/k)·α.
+
+    The set-finding oracle is {!Low_expansion}; with the heuristic
+    finder the loop stops when the portfolio can no longer exhibit a
+    low-expansion set, so the size guarantee is exact (culling only
+    ever removes certified-low-expansion sets, Lemma 2.2 accounting
+    holds) while the final expansion claim is "no witness below the
+    threshold was found". *)
+
+type culled = {
+  set : Bitset.t;  (** S_i, in original node ids *)
+  size : int;
+  boundary : int;  (** |Γ(S_i)| measured inside G_i at cull time *)
+}
+
+type result = {
+  kept : Bitset.t;  (** H: alive nodes that survived pruning *)
+  culled : culled list;  (** in cull order *)
+  iterations : int;
+  threshold : float;  (** α·ε *)
+}
+
+val run :
+  ?finder:Low_expansion.t ->
+  ?rng:Rng.t ->
+  Graph.t ->
+  alive:Bitset.t ->
+  alpha:float ->
+  epsilon:float ->
+  result
+(** [run g ~alive ~alpha ~epsilon] executes Prune(ε) with threshold
+    α·ε.  Requires [alpha > 0] and [0 < epsilon < 1]. *)
+
+val total_culled : result -> int
+
+val verify_certificates : Graph.t -> alive:Bitset.t -> result -> bool
+(** Re-check every culled set against the graph state it was removed
+    from: recomputes |Γ(S_i)| and |S_i| <= |G_i|/2 independently.
+    [alive] is the original post-fault mask the run started from. *)

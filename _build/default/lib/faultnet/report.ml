@@ -1,0 +1,31 @@
+open Fn_graph
+
+let survivor_expansion g kept objective =
+  if Bitset.cardinal kept < 2 then None
+  else
+    let est = Fn_expansion.Estimate.run ~alive:kept g objective in
+    Some est.Fn_expansion.Estimate.value
+
+let prune_summary g (r : Prune.result) =
+  let kept = Bitset.cardinal r.Prune.kept in
+  let culled = Prune.total_culled r in
+  let expansion =
+    match survivor_expansion g r.Prune.kept Fn_expansion.Cut.Node with
+    | Some v -> Printf.sprintf "%.4f" v
+    | None -> "n/a"
+  in
+  Printf.sprintf
+    "Prune: kept %d nodes, culled %d in %d iterations (threshold %.4f); survivor node expansion ~ %s"
+    kept culled r.Prune.iterations r.Prune.threshold expansion
+
+let prune2_summary g (r : Prune2.result) =
+  let kept = Bitset.cardinal r.Prune2.kept in
+  let culled = Prune2.total_culled r in
+  let expansion =
+    match survivor_expansion g r.Prune2.kept Fn_expansion.Cut.Edge with
+    | Some v -> Printf.sprintf "%.4f" v
+    | None -> "n/a"
+  in
+  Printf.sprintf
+    "Prune2: kept %d nodes, culled %d in %d iterations (threshold %.4f); survivor edge expansion ~ %s"
+    kept culled r.Prune2.iterations r.Prune2.threshold expansion

@@ -1,0 +1,14 @@
+open Fn_graph
+
+(** Human-readable summaries of pruning runs. *)
+
+val prune_summary : Graph.t -> Prune.result -> string
+(** One paragraph: nodes kept/culled, iterations, threshold, and the
+    measured (heuristic) node expansion of the kept part. *)
+
+val prune2_summary : Graph.t -> Prune2.result -> string
+
+val survivor_expansion :
+  Graph.t -> Bitset.t -> Fn_expansion.Cut.objective -> float option
+(** Heuristic expansion of the kept set; [None] when it has fewer
+    than 2 nodes. *)

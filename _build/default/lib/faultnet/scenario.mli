@@ -1,0 +1,37 @@
+open Fn_graph
+open Fn_prng
+
+(** One-call resilience analysis: everything the paper says matters
+    about a faulty network, in a single report.
+
+    Given a network and a fault pattern, [analyze] measures the
+    largest-component fraction, prunes to the well-expanding core
+    (Prune2), compares the survivor's edge expansion to the fault-free
+    value, self-embeds the fault-free network into the survivor
+    (emulation slowdown), and routes a permutation across it
+    (bandwidth).  This is the downstream-facing API the paper's §1.3
+    motivates: connectivity, expansion, emulation and routing in one
+    verdict. *)
+
+type t = {
+  nodes : int;
+  edges : int;
+  faults : int;
+  gamma : float;  (** largest-component fraction before pruning *)
+  alpha_e_before : float;  (** fault-free edge expansion (heuristic) *)
+  kept : int;  (** survivor size after Prune2 *)
+  alpha_e_after : float;  (** survivor edge expansion (heuristic) *)
+  expansion_ratio : float;  (** after / before *)
+  certificates_ok : bool;  (** the Prune2 run re-verified *)
+  slowdown : int;  (** LMR load+congestion+dilation of the self-embedding *)
+  routable : float;  (** fraction of a surviving-node permutation routed *)
+  stretch : float;  (** mean stretch vs fault-free paths (NaN if none) *)
+}
+
+val analyze :
+  ?rng:Rng.t -> ?epsilon:float -> Graph.t -> faults:Fn_faults.Fault_set.t -> t
+(** [epsilon] defaults to min(1/(2δ), 0.45).  Requires >= 2 alive
+    nodes.  Deterministic given [rng] (default seed 0x5CE0). *)
+
+val to_string : t -> string
+(** Multi-line human-readable report. *)

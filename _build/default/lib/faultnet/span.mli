@@ -1,0 +1,44 @@
+open Fn_graph
+open Fn_prng
+
+(** The span of a graph (Equation 1 of the paper):
+
+      σ = max over compact U of |P(U)| / |Γ(U)|
+
+    where P(U) is a smallest tree in G connecting every node of the
+    boundary Γ(U).  The span governs resilience to random faults
+    (Theorem 3.4): fault probability up to ~ 1/(2e·δ^{4σ}) is
+    tolerable. *)
+
+type witness = {
+  compact_set : Bitset.t;
+  boundary : Bitset.t;  (** Γ(U) *)
+  tree : Steiner.result;  (** P(U), exact or 2-approximate *)
+  ratio : float;  (** |P(U)| / |Γ(U)| *)
+  tree_exact : bool;
+}
+
+val of_compact_set : ?exact_terminals:int -> Graph.t -> Bitset.t -> witness option
+(** Evaluate one compact set.  Returns [None] when the boundary is
+    empty (disconnected graph).  Steiner trees are exact (Dreyfus-
+    Wagner) when the boundary has at most [exact_terminals] nodes
+    (default 9), else 2-approximate — making the reported ratio an
+    upper bound within a factor 2. *)
+
+type estimate = {
+  span : float;  (** largest ratio seen *)
+  best : witness option;
+  sets_examined : int;
+  all_exact : bool;  (** every Steiner tree was exact *)
+}
+
+val exact : ?exact_terminals:int -> Graph.t -> estimate
+(** Exhaustive over all compact sets; graphs of <= 20 nodes.  With
+    [all_exact] true this is the true span; otherwise it is within a
+    factor 2 above. *)
+
+val sample : Rng.t -> ?exact_terminals:int -> ?samples:int -> Graph.t -> estimate
+(** Monte-Carlo lower estimate: random compact sets of geometrically
+    spaced target sizes (default 200 samples).  The true span is at
+    least [span] / 2 (approximation slack) and can be larger (sampling
+    may miss the maximizer). *)

@@ -1,0 +1,1 @@
+lib/faults/adversary.ml: Array Bfs Bitset Boundary Components Cut Estimate Fault_set Fn_expansion Fn_graph Fn_prng Fun Graph List Rng

@@ -1,0 +1,1 @@
+lib/faults/adversary.mli: Fault_set Fn_graph Fn_prng Graph Rng

@@ -1,0 +1,1 @@
+lib/faults/churn.ml: Array Bitset Dist Fault_set Fn_graph Fn_prng Graph

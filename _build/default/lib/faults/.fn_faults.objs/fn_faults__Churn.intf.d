@@ -1,0 +1,1 @@
+lib/faults/churn.mli: Fault_set Fn_graph Fn_prng Graph Rng

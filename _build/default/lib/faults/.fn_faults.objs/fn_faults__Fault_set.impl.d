@@ -1,0 +1,1 @@
+lib/faults/fault_set.ml: Bitset Fn_graph Format

@@ -1,0 +1,1 @@
+lib/faults/fault_set.mli: Bitset Fn_graph Format

@@ -1,0 +1,1 @@
+lib/faults/random_faults.mli: Fault_set Fn_graph Fn_prng Graph Rng

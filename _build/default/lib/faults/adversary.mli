@@ -1,0 +1,46 @@
+open Fn_graph
+open Fn_prng
+
+(** Adversarial fault strategies.
+
+    Each strategy spends a node budget [f]; the constructive
+    adversaries realize the attacks used in the paper's lower-bound
+    proofs (Theorems 2.3 and 2.5), the others provide comparison
+    baselines for experiment E1/E3. *)
+
+val random : Rng.t -> Graph.t -> budget:int -> Fault_set.t
+(** Uniformly random faulty nodes — the weakest adversary. *)
+
+val degree_targeted : Graph.t -> budget:int -> Fault_set.t
+(** Fail the highest-degree nodes first (ties by id). *)
+
+val targets : Graph.t -> targets:int array -> budget:int -> Fault_set.t
+(** Fail the listed nodes in order, up to the budget.  Used with
+    {!Fn_topology.Chain_graph.chain_centers} to realize the Theorem
+    2.3 adversary. *)
+
+val ball_isolation : ?samples:int -> Rng.t -> Graph.t -> budget:int -> Fault_set.t
+(** Find the largest BFS ball whose node boundary fits in the budget
+    and fail that boundary, disconnecting the ball from the rest.
+    [samples] sources are tried (default 16). *)
+
+type cut_step = {
+  fragment_size : int;
+  cut_side : int;  (** |U| of the low-expansion set found *)
+  removed : int;  (** |Γ(U)| paid from the budget *)
+}
+
+type recursive_result = {
+  faults : Fault_set.t;
+  steps : cut_step list;  (** in execution order *)
+  final_fragments : int list;  (** alive component sizes at the end *)
+}
+
+val recursive_cut :
+  ?rng:Rng.t -> ?max_budget:int -> Graph.t -> epsilon:float -> recursive_result
+(** The Theorem 2.5 adversary: repeatedly pick the largest surviving
+    fragment of size >= epsilon*n, find a low-node-expansion subset U
+    (|U| <= fragment/2) with the {!Fn_expansion.Estimate} portfolio,
+    and fail its boundary Γ(U).  Stops when all fragments are smaller
+    than epsilon*n or the budget would be exceeded.  Default budget:
+    unlimited. *)

@@ -1,0 +1,33 @@
+open Fn_graph
+open Fn_prng
+
+(** Transient faults: continuous-time churn.
+
+    The paper's fault taxonomy (§1.3) distinguishes permanent from
+    transient faults; P2P networks live in the transient regime.  Each
+    node runs an independent on/off Markov process: alive nodes fail
+    at rate [rate_fail], dead nodes come back at rate [rate_repair].
+    The stationary dead fraction is
+    rate_fail / (rate_fail + rate_repair), so experiments can dial in
+    any target fault level and watch expansion as a *trajectory*
+    instead of a one-shot sample. *)
+
+type snapshot = {
+  time : float;
+  faults : Fault_set.t;
+}
+
+val stationary_dead_fraction : rate_fail:float -> rate_repair:float -> float
+
+val simulate :
+  Rng.t ->
+  Graph.t ->
+  rate_fail:float ->
+  rate_repair:float ->
+  horizon:float ->
+  snapshots:int ->
+  snapshot list
+(** Exact event-driven simulation from the all-alive state; returns
+    [snapshots] evenly spaced fault patterns over (0, horizon].
+    Requires positive rates, horizon and snapshot count.  O(events +
+    snapshots·n) expected. *)

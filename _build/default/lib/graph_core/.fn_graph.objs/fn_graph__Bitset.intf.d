@@ -1,0 +1,1 @@
+lib/graph_core/bitset.mli: Format

@@ -1,0 +1,1 @@
+lib/graph_core/boundary.ml: Bitset Graph List

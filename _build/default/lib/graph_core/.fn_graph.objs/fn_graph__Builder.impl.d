@@ -1,0 +1,1 @@
+lib/graph_core/builder.ml: Array Graph List

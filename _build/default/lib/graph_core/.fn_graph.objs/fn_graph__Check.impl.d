@@ -1,0 +1,1 @@
+lib/graph_core/check.ml: Array Graph Printf

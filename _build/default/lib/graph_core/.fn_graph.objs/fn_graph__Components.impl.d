@@ -1,0 +1,1 @@
+lib/graph_core/components.ml: Array Bitset Graph Hashtbl List Stack

@@ -1,0 +1,1 @@
+lib/graph_core/dfs.ml: Array Bitset Graph List Stack

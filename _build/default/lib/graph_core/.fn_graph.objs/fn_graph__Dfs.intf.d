@@ -1,0 +1,1 @@
+lib/graph_core/dfs.mli: Bitset Graph

@@ -1,0 +1,1 @@
+lib/graph_core/gio.ml: Bitset Buffer Fun Graph List Printf Scanf String

@@ -1,0 +1,1 @@
+lib/graph_core/gio.mli: Bitset Graph

@@ -1,0 +1,1 @@
+lib/graph_core/graph.ml: Array Bitset Format

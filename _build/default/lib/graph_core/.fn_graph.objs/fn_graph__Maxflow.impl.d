@@ -1,0 +1,1 @@
+lib/graph_core/maxflow.ml: Array Bitset Graph List Queue

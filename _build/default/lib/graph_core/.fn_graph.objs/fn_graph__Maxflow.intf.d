@@ -1,0 +1,1 @@
+lib/graph_core/maxflow.mli: Bitset Graph

@@ -1,0 +1,1 @@
+lib/graph_core/metrics.ml: Array Bfs Bitset Fn_prng Fun Graph Hashtbl List Rng

@@ -1,0 +1,1 @@
+lib/graph_core/metrics.mli: Bitset Fn_prng Graph Rng

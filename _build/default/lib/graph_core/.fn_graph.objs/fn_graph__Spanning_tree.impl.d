@@ -1,0 +1,1 @@
+lib/graph_core/spanning_tree.ml: Array Bfs Bitset Graph List

@@ -1,0 +1,1 @@
+lib/graph_core/spanning_tree.mli: Bitset Graph

@@ -1,0 +1,1 @@
+lib/graph_core/steiner.ml: Array Bfs Bitset Dfs Graph List Queue Subgraph

@@ -1,0 +1,104 @@
+let is_alive alive v =
+  match alive with None -> true | Some mask -> Bitset.mem mask v
+
+let check_src g alive src =
+  if src < 0 || src >= Graph.num_nodes g then invalid_arg "Bfs: source out of range";
+  if not (is_alive alive src) then invalid_arg "Bfs: source not alive"
+
+let multi_source_distances ?alive g srcs =
+  let n = Graph.num_nodes g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  Array.iter
+    (fun s ->
+      check_src g alive s;
+      if dist.(s) < 0 then begin
+        dist.(s) <- 0;
+        Queue.add s queue
+      end)
+    srcs;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Graph.iter_neighbors g u (fun v ->
+        if dist.(v) < 0 && is_alive alive v then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+  done;
+  dist
+
+let distances ?alive g src = multi_source_distances ?alive g [| src |]
+
+let reachable ?alive g src =
+  let dist = distances ?alive g src in
+  let out = Bitset.create (Graph.num_nodes g) in
+  Array.iteri (fun v d -> if d >= 0 then Bitset.add out v) dist;
+  out
+
+let tree ?alive g src =
+  check_src g alive src;
+  let n = Graph.num_nodes g in
+  let parent = Array.make n (-1) in
+  let queue = Queue.create () in
+  parent.(src) <- src;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Graph.iter_neighbors g u (fun v ->
+        if parent.(v) < 0 && is_alive alive v then begin
+          parent.(v) <- u;
+          Queue.add v queue
+        end)
+  done;
+  parent
+
+let ball ?alive g src r =
+  check_src g alive src;
+  let n = Graph.num_nodes g in
+  let dist = Array.make n (-1) in
+  let out = Bitset.create n in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Bitset.add out src;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    if dist.(u) < r then
+      Graph.iter_neighbors g u (fun v ->
+          if dist.(v) < 0 && is_alive alive v then begin
+            dist.(v) <- dist.(u) + 1;
+            Bitset.add out v;
+            Queue.add v queue
+          end)
+  done;
+  out
+
+let ball_of_size ?alive g src k =
+  check_src g alive src;
+  let n = Graph.num_nodes g in
+  let seen = Array.make n false in
+  let out = Bitset.create n in
+  let queue = Queue.create () in
+  seen.(src) <- true;
+  Queue.add src queue;
+  let count = ref 0 in
+  while !count < k && not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Bitset.add out u;
+    incr count;
+    Graph.iter_neighbors g u (fun v ->
+        if (not seen.(v)) && is_alive alive v then begin
+          seen.(v) <- true;
+          Queue.add v queue
+        end)
+  done;
+  out
+
+let eccentricity ?alive g src =
+  let dist = distances ?alive g src in
+  Array.fold_left max 0 dist
+
+let path_to ~parents target =
+  if target < 0 || target >= Array.length parents || parents.(target) < 0 then raise Not_found;
+  let rec walk v acc = if parents.(v) = v then v :: acc else walk parents.(v) (v :: acc) in
+  walk target []

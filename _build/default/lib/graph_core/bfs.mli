@@ -1,0 +1,33 @@
+(** Breadth-first search, optionally restricted to an alive mask.
+
+    All functions treat nodes outside [alive] as absent; omitting
+    [alive] means the whole graph is alive.  Distances use [-1] for
+    unreachable (or dead) nodes. *)
+
+val distances : ?alive:Bitset.t -> Graph.t -> int -> int array
+(** [distances g src] is the array of hop distances from [src];
+    [-1] marks unreachable nodes.  [src] must be alive. *)
+
+val multi_source_distances : ?alive:Bitset.t -> Graph.t -> int array -> int array
+(** Distances from the nearest of several sources. *)
+
+val reachable : ?alive:Bitset.t -> Graph.t -> int -> Bitset.t
+(** Set of alive nodes reachable from [src] (including [src]). *)
+
+val tree : ?alive:Bitset.t -> Graph.t -> int -> int array
+(** BFS parent array: [parent.(src) = src], [-1] for unreachable. *)
+
+val ball : ?alive:Bitset.t -> Graph.t -> int -> int -> Bitset.t
+(** [ball g src r] is the set of alive nodes within distance [r]. *)
+
+val ball_of_size : ?alive:Bitset.t -> Graph.t -> int -> int -> Bitset.t
+(** [ball_of_size g src k] grows a BFS region from [src] and stops as
+    soon as at least [k] nodes are collected (or the component is
+    exhausted).  BFS order makes the result connected. *)
+
+val eccentricity : ?alive:Bitset.t -> Graph.t -> int -> int
+(** Largest finite distance from the source. *)
+
+val path_to : parents:int array -> int -> int list
+(** Reconstruct the path from the BFS source to a target out of a
+    {!tree} parent array; raises [Not_found] if unreachable. *)

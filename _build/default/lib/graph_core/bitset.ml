@@ -1,0 +1,173 @@
+type t = { n : int; words : int array }
+
+let bits_per_word = 63 (* OCaml native ints *)
+
+let word_count n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative universe";
+  { n; words = Array.make (max 1 (word_count n)) 0 }
+
+let universe t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of universe"
+
+(* Mask of valid bits in the last word, to keep complement/cardinal
+   exact.  A full 63-bit word is [-1] (all bits set in a native int). *)
+let last_mask t =
+  let r = t.n mod bits_per_word in
+  if r = 0 && t.n > 0 then -1 else (1 lsl r) - 1
+
+let fill t =
+  if t.n = 0 then Array.fill t.words 0 (Array.length t.words) 0
+  else begin
+    Array.fill t.words 0 (Array.length t.words) (-1);
+    let wc = word_count t.n in
+    t.words.(wc - 1) <- last_mask t;
+    for w = wc to Array.length t.words - 1 do
+      t.words.(w) <- 0
+    done
+  end
+
+let create_full n =
+  let t = create n in
+  fill t;
+  t
+
+let copy t = { n = t.n; words = Array.copy t.words }
+
+let mem t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let set t i b = if b then add t i else remove t i
+
+let popcount =
+  let rec count x acc = if x = 0 then acc else count (x land (x - 1)) (acc + 1) in
+  fun x -> count x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = ref t.words.(w) in
+    while !word <> 0 do
+      let low = !word land - !word in
+      let bit =
+        (* index of the lowest set bit *)
+        let rec idx b k = if b land 1 = 1 then k else idx (b lsr 1) (k + 1) in
+        idx low 0
+      in
+      f ((w * bits_per_word) + bit);
+      word := !word land (!word - 1)
+    done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let to_array t =
+  let out = Array.make (cardinal t) 0 in
+  let k = ref 0 in
+  iter
+    (fun i ->
+      out.(!k) <- i;
+      incr k)
+    t;
+  out
+
+let of_list n xs =
+  let t = create n in
+  List.iter (add t) xs;
+  t
+
+let of_array n xs =
+  let t = create n in
+  Array.iter (add t) xs;
+  t
+
+let same_universe a b =
+  if a.n <> b.n then invalid_arg "Bitset: universe mismatch"
+
+let union_into dst src =
+  same_universe dst src;
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) lor src.words.(w)
+  done
+
+let inter_into dst src =
+  same_universe dst src;
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) land src.words.(w)
+  done
+
+let diff_into dst src =
+  same_universe dst src;
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) land lnot src.words.(w)
+  done
+
+let complement t =
+  let out = create_full t.n in
+  diff_into out t;
+  out
+
+let equal a b =
+  same_universe a b;
+  Array.for_all2 ( = ) a.words b.words
+
+let subset a b =
+  same_universe a b;
+  let ok = ref true in
+  for w = 0 to Array.length a.words - 1 do
+    if a.words.(w) land lnot b.words.(w) <> 0 then ok := false
+  done;
+  !ok
+
+let disjoint a b =
+  same_universe a b;
+  let ok = ref true in
+  for w = 0 to Array.length a.words - 1 do
+    if a.words.(w) land b.words.(w) <> 0 then ok := false
+  done;
+  !ok
+
+let choose t =
+  let found = ref None in
+  (try
+     iter
+       (fun i ->
+         found := Some i;
+         raise Exit)
+       t
+   with Exit -> ());
+  !found
+
+let pp fmt t =
+  Format.fprintf fmt "{";
+  let first = ref true in
+  iter
+    (fun i ->
+      if !first then first := false else Format.fprintf fmt ", ";
+      Format.fprintf fmt "%d" i)
+    t;
+  Format.fprintf fmt "}"

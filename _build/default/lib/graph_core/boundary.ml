@@ -1,0 +1,66 @@
+let is_alive alive v =
+  match alive with None -> true | Some mask -> Bitset.mem mask v
+
+let node_boundary ?alive g u =
+  let out = Bitset.create (Graph.num_nodes g) in
+  Bitset.iter
+    (fun v ->
+      if is_alive alive v then
+        Graph.iter_neighbors g v (fun w ->
+            if (not (Bitset.mem u w)) && is_alive alive w then Bitset.add out w))
+    u;
+  out
+
+let node_boundary_size ?alive g u = Bitset.cardinal (node_boundary ?alive g u)
+
+let edge_boundary_size ?alive g u =
+  let count = ref 0 in
+  Bitset.iter
+    (fun v ->
+      if is_alive alive v then
+        Graph.iter_neighbors g v (fun w ->
+            if (not (Bitset.mem u w)) && is_alive alive w then incr count))
+    u;
+  !count
+
+let edge_boundary ?alive g u =
+  let out = ref [] in
+  Bitset.iter
+    (fun v ->
+      if is_alive alive v then
+        Graph.iter_neighbors g v (fun w ->
+            if (not (Bitset.mem u w)) && is_alive alive w then out := (v, w) :: !out))
+    u;
+  List.rev !out
+
+let internal_edge_count ?alive g u =
+  let twice = ref 0 in
+  Bitset.iter
+    (fun v ->
+      if is_alive alive v then
+        Graph.iter_neighbors g v (fun w ->
+            if Bitset.mem u w && is_alive alive w then incr twice))
+    u;
+  !twice / 2
+
+let alive_cardinal alive u =
+  match alive with
+  | None -> Bitset.cardinal u
+  | Some mask ->
+    let inter = Bitset.copy u in
+    Bitset.inter_into inter mask;
+    Bitset.cardinal inter
+
+let node_expansion ?alive g u =
+  let size = alive_cardinal alive u in
+  if size = 0 then invalid_arg "Boundary.node_expansion: empty set";
+  float_of_int (node_boundary_size ?alive g u) /. float_of_int size
+
+let edge_expansion ?alive g u =
+  let inside = alive_cardinal alive u in
+  let total =
+    match alive with None -> Graph.num_nodes g | Some mask -> Bitset.cardinal mask
+  in
+  let outside = total - inside in
+  if inside = 0 || outside = 0 then invalid_arg "Boundary.edge_expansion: empty side";
+  float_of_int (edge_boundary_size ?alive g u) /. float_of_int (min inside outside)

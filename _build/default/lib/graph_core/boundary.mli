@@ -1,0 +1,27 @@
+(** Node and edge boundaries — the paper's Γ(U) and (U, V\U).
+
+    All functions may be restricted to an [alive] mask: dead nodes
+    belong to neither side and dead endpoints kill an edge.  [u]
+    itself is excluded from its own boundary, as in the paper. *)
+
+val node_boundary : ?alive:Bitset.t -> Graph.t -> Bitset.t -> Bitset.t
+(** [node_boundary g u] is Γ(U): alive nodes outside [u] adjacent to a
+    node of [u].  Members of [u] that are dead contribute nothing. *)
+
+val node_boundary_size : ?alive:Bitset.t -> Graph.t -> Bitset.t -> int
+
+val edge_boundary_size : ?alive:Bitset.t -> Graph.t -> Bitset.t -> int
+(** |(U, V\U)|: alive-alive edges with exactly one endpoint in [u]. *)
+
+val edge_boundary : ?alive:Bitset.t -> Graph.t -> Bitset.t -> (int * int) list
+(** The boundary edges themselves, as [(inside, outside)] pairs. *)
+
+val internal_edge_count : ?alive:Bitset.t -> Graph.t -> Bitset.t -> int
+(** Alive edges with both endpoints in [u]. *)
+
+val node_expansion : ?alive:Bitset.t -> Graph.t -> Bitset.t -> float
+(** |Γ(U)| / |U∩alive|.  Raises [Invalid_argument] on an empty set. *)
+
+val edge_expansion : ?alive:Bitset.t -> Graph.t -> Bitset.t -> float
+(** |(U, V\U)| / min(|U|, |V\U|) over alive nodes.  Raises
+    [Invalid_argument] if either side is empty. *)

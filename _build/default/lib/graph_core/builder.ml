@@ -1,0 +1,37 @@
+type t = {
+  n : int;
+  mutable us : int array;
+  mutable vs : int array;
+  mutable len : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Builder.create: negative node count";
+  { n; us = Array.make 16 0; vs = Array.make 16 0; len = 0 }
+
+let num_nodes t = t.n
+
+let grow t =
+  let cap = Array.length t.us in
+  let us = Array.make (2 * cap) 0 and vs = Array.make (2 * cap) 0 in
+  Array.blit t.us 0 us 0 t.len;
+  Array.blit t.vs 0 vs 0 t.len;
+  t.us <- us;
+  t.vs <- vs
+
+let add_edge t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg "Builder.add_edge: endpoint out of range";
+  if u = v then invalid_arg "Builder.add_edge: self-loop";
+  if t.len = Array.length t.us then grow t;
+  t.us.(t.len) <- u;
+  t.vs.(t.len) <- v;
+  t.len <- t.len + 1
+
+let add_edges t es = List.iter (fun (u, v) -> add_edge t u v) es
+
+let edge_count t = t.len
+
+let to_graph t =
+  let es = Array.init t.len (fun i -> (t.us.(i), t.vs.(i))) in
+  Graph.of_edge_array t.n es

@@ -1,0 +1,40 @@
+let csr g =
+  let n = Graph.num_nodes g in
+  let xadj = Graph.xadj g and adj = Graph.adj g in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if Array.length xadj <> n + 1 then fail "xadj length %d, expected %d" (Array.length xadj) (n + 1)
+  else if n >= 0 && xadj.(0) <> 0 then fail "xadj.(0) = %d, expected 0" xadj.(0)
+  else if xadj.(n) <> Array.length adj then
+    fail "xadj.(n) = %d, adj length %d" xadj.(n) (Array.length adj)
+  else begin
+    let error = ref None in
+    let report fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+    for v = 0 to n - 1 do
+      if xadj.(v + 1) < xadj.(v) then report "xadj not monotone at node %d" v;
+      for k = xadj.(v) to xadj.(v + 1) - 1 do
+        let w = adj.(k) in
+        if w < 0 || w >= n then report "neighbour %d of node %d out of range" w v;
+        if w = v then report "self-loop at node %d" v;
+        if k > xadj.(v) && adj.(k - 1) >= w then report "row of node %d not strictly sorted" v
+      done
+    done;
+    if !error = None then
+      (* symmetry *)
+      for v = 0 to n - 1 do
+        for k = xadj.(v) to xadj.(v + 1) - 1 do
+          let w = adj.(k) in
+          if w >= 0 && w < n && not (Graph.has_edge g w v) then
+            report "edge %d-%d has no reverse arc" v w
+        done
+      done;
+    match !error with None -> Ok () | Some e -> Error e
+  end
+
+let csr_exn g = match csr g with Ok () -> () | Error e -> failwith ("Check.csr: " ^ e)
+
+let regular g d =
+  let ok = ref true in
+  for v = 0 to Graph.num_nodes g - 1 do
+    if Graph.degree g v <> d then ok := false
+  done;
+  !ok

@@ -1,0 +1,13 @@
+(** Structural invariant checkers, used by tests and by generators in
+    debug builds. *)
+
+val csr : Graph.t -> (unit, string) result
+(** Verify the CSR invariants: monotone [xadj], in-range sorted
+    adjacency rows without duplicates or self-loops, and symmetry
+    (every arc has its reverse). *)
+
+val csr_exn : Graph.t -> unit
+(** Same, raising [Failure] with the first violation. *)
+
+val regular : Graph.t -> int -> bool
+(** All degrees equal the given value. *)

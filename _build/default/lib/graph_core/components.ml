@@ -1,0 +1,74 @@
+type t = { labels : int array; sizes : int array; count : int }
+
+let is_alive alive v =
+  match alive with None -> true | Some mask -> Bitset.mem mask v
+
+let compute ?alive g =
+  let n = Graph.num_nodes g in
+  let labels = Array.make n (-1) in
+  let sizes = ref [] in
+  let count = ref 0 in
+  let stack = Stack.create () in
+  for root = 0 to n - 1 do
+    if labels.(root) < 0 && is_alive alive root then begin
+      let id = !count in
+      incr count;
+      let size = ref 0 in
+      labels.(root) <- id;
+      Stack.push root stack;
+      while not (Stack.is_empty stack) do
+        let u = Stack.pop stack in
+        incr size;
+        Graph.iter_neighbors g u (fun v ->
+            if labels.(v) < 0 && is_alive alive v then begin
+              labels.(v) <- id;
+              Stack.push v stack
+            end)
+      done;
+      sizes := !size :: !sizes
+    end
+  done;
+  let sizes_arr = Array.make !count 0 in
+  List.iteri (fun i s -> sizes_arr.(!count - 1 - i) <- s) !sizes;
+  { labels; sizes = sizes_arr; count = !count }
+
+let largest t =
+  if t.count = 0 then raise Not_found;
+  let best = ref 0 in
+  for id = 1 to t.count - 1 do
+    if t.sizes.(id) > t.sizes.(!best) then best := id
+  done;
+  !best
+
+let largest_size t = if t.count = 0 then 0 else t.sizes.(largest t)
+
+let gamma ?alive g =
+  let n = Graph.num_nodes g in
+  if n = 0 then 0.0
+  else
+    let c = compute ?alive g in
+    float_of_int (largest_size c) /. float_of_int n
+
+let members t id =
+  if id < 0 || id >= t.count then invalid_arg "Components.members: bad id";
+  let out = Bitset.create (Array.length t.labels) in
+  Array.iteri (fun v l -> if l = id then Bitset.add out v) t.labels;
+  out
+
+let largest_members ?alive g =
+  let c = compute ?alive g in
+  if c.count = 0 then Bitset.create (Graph.num_nodes g) else members c (largest c)
+
+let size_histogram t =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun s ->
+      let cur = try Hashtbl.find tbl s with Not_found -> 0 in
+      Hashtbl.replace tbl s (cur + 1))
+    t.sizes;
+  Hashtbl.fold (fun size count acc -> (size, count) :: acc) tbl []
+  |> List.sort compare
+
+let is_connected ?alive g =
+  let c = compute ?alive g in
+  c.count <= 1

@@ -1,0 +1,15 @@
+(** Iterative depth-first search (no stack-overflow risk on large
+    graphs), optionally restricted to an alive mask. *)
+
+val preorder : ?alive:Bitset.t -> Graph.t -> int -> int array
+(** Nodes in DFS preorder from the source. *)
+
+val reachable : ?alive:Bitset.t -> Graph.t -> int -> Bitset.t
+
+val is_connected_subset : Graph.t -> Bitset.t -> bool
+(** [is_connected_subset g s] is true iff the subgraph induced by [s]
+    is connected (the empty set counts as connected). *)
+
+val forest : ?alive:Bitset.t -> Graph.t -> int array
+(** DFS forest over all alive nodes: parent array with roots mapped to
+    themselves and dead nodes to [-1]. *)

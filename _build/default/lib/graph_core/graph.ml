@@ -1,0 +1,152 @@
+type t = { n : int; xadj : int array; adj : int array }
+
+let num_nodes t = t.n
+
+let num_edges t = Array.length t.adj / 2
+
+let degree t v =
+  if v < 0 || v >= t.n then invalid_arg "Graph.degree: node out of range";
+  t.xadj.(v + 1) - t.xadj.(v)
+
+let max_degree t =
+  let best = ref 0 in
+  for v = 0 to t.n - 1 do
+    let d = t.xadj.(v + 1) - t.xadj.(v) in
+    if d > !best then best := d
+  done;
+  !best
+
+let min_degree t =
+  if t.n = 0 then 0
+  else begin
+    let best = ref max_int in
+    for v = 0 to t.n - 1 do
+      let d = t.xadj.(v + 1) - t.xadj.(v) in
+      if d < !best then best := d
+    done;
+    !best
+  end
+
+let neighbors t v =
+  if v < 0 || v >= t.n then invalid_arg "Graph.neighbors: node out of range";
+  Array.sub t.adj t.xadj.(v) (t.xadj.(v + 1) - t.xadj.(v))
+
+let iter_neighbors t v f =
+  for k = t.xadj.(v) to t.xadj.(v + 1) - 1 do
+    f t.adj.(k)
+  done
+
+let fold_neighbors t v f init =
+  let acc = ref init in
+  for k = t.xadj.(v) to t.xadj.(v + 1) - 1 do
+    acc := f !acc t.adj.(k)
+  done;
+  !acc
+
+let has_edge t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg "Graph.has_edge: node out of range";
+  let lo = ref t.xadj.(u) and hi = ref (t.xadj.(u + 1) - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = t.adj.(mid) in
+    if w = v then found := true else if w < v then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let iter_edges t f =
+  for u = 0 to t.n - 1 do
+    for k = t.xadj.(u) to t.xadj.(u + 1) - 1 do
+      let v = t.adj.(k) in
+      if u < v then f u v
+    done
+  done
+
+let fold_edges f t init =
+  let acc = ref init in
+  iter_edges t (fun u v -> acc := f u v !acc);
+  !acc
+
+let edges t =
+  let out = Array.make (num_edges t) (0, 0) in
+  let k = ref 0 in
+  iter_edges t (fun u v ->
+      out.(!k) <- (u, v);
+      incr k);
+  out
+
+let of_edge_array n es =
+  if n < 0 then invalid_arg "Graph.of_edge_array: negative node count";
+  Array.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.of_edge_array: endpoint out of range";
+      if u = v then invalid_arg "Graph.of_edge_array: self-loop")
+    es;
+  (* normalize, sort, dedupe *)
+  let norm = Array.map (fun (u, v) -> if u < v then (u, v) else (v, u)) es in
+  Array.sort compare norm;
+  let m =
+    let count = ref 0 in
+    Array.iteri (fun i e -> if i = 0 || norm.(i - 1) <> e then incr count) norm;
+    !count
+  in
+  let uniq = Array.make m (0, 0) in
+  let k = ref 0 in
+  Array.iteri
+    (fun i e ->
+      if i = 0 || norm.(i - 1) <> e then begin
+        uniq.(!k) <- e;
+        incr k
+      end)
+    norm;
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    uniq;
+  let xadj = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    xadj.(v + 1) <- xadj.(v) + deg.(v)
+  done;
+  let adj = Array.make (2 * m) 0 in
+  let cursor = Array.copy xadj in
+  Array.iter
+    (fun (u, v) ->
+      adj.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1;
+      adj.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1)
+    uniq;
+  (* rows are sorted because uniq is lexicographically sorted for the
+     first endpoint, but second-endpoint entries interleave: sort rows *)
+  for v = 0 to n - 1 do
+    let lo = xadj.(v) and len = deg.(v) in
+    let row = Array.sub adj lo len in
+    Array.sort compare row;
+    Array.blit row 0 adj lo len
+  done;
+  { n; xadj; adj }
+
+let of_edges n es = of_edge_array n (Array.of_list es)
+
+let unsafe_of_csr ~n ~xadj ~adj = { n; xadj; adj }
+
+let xadj t = t.xadj
+
+let adj t = t.adj
+
+let empty n = { n; xadj = Array.make (n + 1) 0; adj = [||] }
+
+let equal a b = a.n = b.n && a.xadj = b.xadj && a.adj = b.adj
+
+let alive_degree t alive v =
+  let count = ref 0 in
+  iter_neighbors t v (fun w -> if Bitset.mem alive w then incr count);
+  !count
+
+let pp fmt t =
+  Format.fprintf fmt "graph(n=%d, m=%d, deg=[%d,%d])" t.n (num_edges t) (min_degree t)
+    (max_degree t)

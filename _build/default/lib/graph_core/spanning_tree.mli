@@ -1,0 +1,25 @@
+(** Spanning trees and tree utilities. *)
+
+type tree = {
+  root : int;
+  parent : int array;  (** [parent.(root) = root]; [-1] for nodes outside the tree *)
+  nodes : int array;  (** tree nodes in BFS order from the root *)
+}
+
+val bfs_tree : ?alive:Bitset.t -> Graph.t -> int -> tree
+(** BFS spanning tree of the component containing the source. *)
+
+val num_edges : tree -> int
+(** Edges of the tree, i.e. [|nodes| - 1]. *)
+
+val tree_edges : tree -> (int * int) list
+(** Parent-child pairs. *)
+
+val is_spanning : Graph.t -> Bitset.t -> tree -> bool
+(** Does the tree cover exactly the given node set (and use only
+    graph edges)? *)
+
+val total_weighted_length : dist:int array array -> int array -> int
+(** Weight of the minimum spanning tree of a complete metric graph on
+    the given terminal indices, with pairwise distances given by
+    [dist] (Prim's algorithm).  Exposed for the Steiner 2-approx. *)

@@ -1,0 +1,35 @@
+(** Steiner trees on unweighted graphs.
+
+    The paper's span parameter needs |P(U)|, the node count of a
+    smallest tree connecting the boundary Γ(U).  Minimum Steiner tree
+    is NP-hard, so we provide the classic pair:
+
+    - {!exact}: the Dreyfus-Wagner dynamic program, exponential in the
+      number of terminals (use for |terminals| <= ~10) but exact;
+    - {!approx}: the metric-closure MST heuristic with shortest-path
+      expansion and leaf pruning, a 2(1 - 1/t)-approximation.
+
+    Both return the tree as a node set together with its edge count
+    (always [|nodes| - 1]); tests verify approx/exact agreement ratios
+    on random graphs. *)
+
+type result = {
+  nodes : Bitset.t;  (** nodes of the tree, terminals included *)
+  edge_count : int;
+}
+
+val node_count : result -> int
+
+val approx : ?alive:Bitset.t -> Graph.t -> int array -> result
+(** [approx g terminals] requires all terminals alive and in one alive
+    component; raises [Invalid_argument] otherwise.  O(t (n + m)) plus
+    an O(t^2) MST. *)
+
+val exact : ?alive:Bitset.t -> Graph.t -> int array -> result
+(** Dreyfus-Wagner.  Requires [1 <= t <= 12]; memory O(2^t * n),
+    time O(3^t n + 2^t n^2). *)
+
+val verify : ?alive:Bitset.t -> Graph.t -> int array -> result -> bool
+(** Check that the claimed node set induces a connected alive subgraph
+    containing every terminal, with at least a spanning tree's worth
+    of edges consistent with [edge_count]. *)

@@ -1,0 +1,1 @@
+lib/parallel/par.ml: Array Domain Fn_prng Fun

@@ -1,0 +1,31 @@
+let default_domains () =
+  let n = Domain.recommended_domain_count () in
+  max 1 (min 8 n)
+
+let map ?domains f a =
+  let n = Array.length a in
+  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  let workers = min domains n in
+  if workers <= 1 || n < 2 then Array.map f a
+  else begin
+    let out = Array.make n None in
+    let chunk = (n + workers - 1) / workers in
+    let run_chunk w () =
+      let lo = w * chunk in
+      let hi = min n (lo + chunk) - 1 in
+      for i = lo to hi do
+        out.(i) <- Some (f a.(i))
+      done
+    in
+    let handles = Array.init workers (fun w -> Domain.spawn (run_chunk w)) in
+    Array.iter Domain.join handles;
+    Array.map
+      (function Some v -> v | None -> assert false)
+      out
+  end
+
+let init ?domains n f = map ?domains f (Array.init n Fun.id)
+
+let trials ?domains ~rng n job =
+  let rngs = Fn_prng.Rng.split_n rng n in
+  map ?domains job rngs

@@ -1,0 +1,27 @@
+(** Minimal multicore helpers over OCaml 5 [Domain].
+
+    The workloads in this repository are embarrassingly parallel
+    Monte-Carlo trials, so all we need is a deterministic fork-join
+    map.  Determinism matters: results must not depend on how the
+    runtime schedules domains, so randomized jobs receive
+    pre-{!Fn_prng.Rng.split} generators indexed by job number. *)
+
+val default_domains : unit -> int
+(** Number of domains to use by default: the runtime's recommended
+    count, clamped to [1, 8].  Override per call with [?domains]. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map f a] applies [f] to every element, distributing contiguous
+    chunks over domains.  Result order matches input order.  [f] must
+    not rely on shared mutable state.  Falls back to sequential
+    execution when [domains <= 1] or the array is small. *)
+
+val init : ?domains:int -> int -> (int -> 'b) -> 'b array
+(** [init n f] is [map f [|0; ...; n-1|]] without building the input
+    array. *)
+
+val trials : ?domains:int -> rng:Fn_prng.Rng.t -> int -> (Fn_prng.Rng.t -> 'b) -> 'b array
+(** [trials ~rng n job] runs [job] [n] times, each with an independent
+    generator split from [rng].  The split happens sequentially before
+    any domain is spawned, so the result is identical whatever the
+    parallelism. *)

@@ -1,0 +1,1 @@
+lib/percolation/newman_ziff.ml: Array Float Fn_graph Fn_parallel Fn_prng Graph Rng Union_find

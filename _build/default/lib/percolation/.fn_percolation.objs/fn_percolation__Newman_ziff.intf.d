@@ -1,0 +1,1 @@
+lib/percolation/newman_ziff.mli: Fn_graph Fn_prng Graph Rng

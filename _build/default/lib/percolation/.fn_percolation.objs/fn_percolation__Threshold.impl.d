@@ -1,0 +1,1 @@
+lib/percolation/threshold.ml: Array Fn_parallel List Newman_ziff

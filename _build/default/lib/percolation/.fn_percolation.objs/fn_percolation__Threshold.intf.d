@@ -1,0 +1,1 @@
+lib/percolation/threshold.mli: Fn_graph Fn_prng Graph Rng

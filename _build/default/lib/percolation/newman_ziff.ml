@@ -1,0 +1,58 @@
+open Fn_graph
+open Fn_prng
+
+type curve = { occupied_largest : int array; total : int; n : int }
+
+let site_run rng g =
+  let n = Graph.num_nodes g in
+  let order = Rng.permutation rng n in
+  let uf = Union_find.create n in
+  let occupied = Array.make n false in
+  let out = Array.make (max n 1) 1 in
+  Array.iteri
+    (fun k v ->
+      occupied.(v) <- true;
+      Graph.iter_neighbors g v (fun w -> if occupied.(w) then ignore (Union_find.union uf v w));
+      out.(k) <- Union_find.max_component_size uf)
+    order;
+  { occupied_largest = out; total = n; n }
+
+let bond_run rng g =
+  let n = Graph.num_nodes g in
+  let edges = Graph.edges g in
+  let m = Array.length edges in
+  Rng.shuffle rng edges;
+  let uf = Union_find.create n in
+  let out = Array.make (max m 1) 1 in
+  Array.iteri
+    (fun k (u, v) ->
+      ignore (Union_find.union uf u v);
+      out.(k) <- Union_find.max_component_size uf)
+    edges;
+  { occupied_largest = out; total = m; n }
+
+let gamma_at c p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Newman_ziff.gamma_at: p out of [0,1]";
+  if c.n = 0 then 0.0
+  else begin
+    let k = int_of_float (Float.round (p *. float_of_int c.total)) in
+    if k <= 0 then if c.total = 0 then 0.0 else 1.0 /. float_of_int c.n
+    else begin
+      let k = min k c.total in
+      float_of_int c.occupied_largest.(k - 1) /. float_of_int c.n
+    end
+  end
+
+let average_gamma ?domains ~rng ~runs make_curve p =
+  let values =
+    Fn_parallel.Par.trials ?domains ~rng runs (fun r -> gamma_at (make_curve r) p)
+  in
+  let n = float_of_int runs in
+  let mean = Array.fold_left ( +. ) 0.0 values /. n in
+  let var =
+    if runs < 2 then 0.0
+    else
+      Array.fold_left (fun acc v -> acc +. ((v -. mean) *. (v -. mean))) 0.0 values
+      /. (n -. 1.0)
+  in
+  (mean, sqrt var)

@@ -1,0 +1,39 @@
+
+type mode = Site | Bond
+
+type result = { p_star : float; level : float; runs : int }
+
+let curves ?domains ~rng ~runs mode g =
+  let make = match mode with Site -> Newman_ziff.site_run | Bond -> Newman_ziff.bond_run in
+  Fn_parallel.Par.trials ?domains ~rng runs (fun r -> make r g)
+
+let mean_gamma cs p =
+  let total = Array.fold_left (fun acc c -> acc +. Newman_ziff.gamma_at c p) 0.0 cs in
+  total /. float_of_int (Array.length cs)
+
+let estimate ?domains ?(runs = 32) ?(level = 0.4) ?(tolerance = 1e-3) ~rng mode g =
+  if runs < 1 then invalid_arg "Threshold.estimate: need runs >= 1";
+  let cs = curves ?domains ~rng ~runs mode g in
+  let lo = ref 0.0 and hi = ref 1.0 in
+  (* γ is monotone in p on a fixed curve set, so bisection is sound *)
+  while !hi -. !lo > tolerance do
+    let mid = (!lo +. !hi) /. 2.0 in
+    if mean_gamma cs mid >= level then hi := mid else lo := mid
+  done;
+  { p_star = (!lo +. !hi) /. 2.0; level; runs }
+
+let gamma_curve ?domains ?(runs = 32) ~rng mode g ps =
+  let cs = curves ?domains ~rng ~runs mode g in
+  List.map
+    (fun p ->
+      let values = Array.map (fun c -> Newman_ziff.gamma_at c p) cs in
+      let n = float_of_int runs in
+      let mean = Array.fold_left ( +. ) 0.0 values /. n in
+      let var =
+        if runs < 2 then 0.0
+        else
+          Array.fold_left (fun acc v -> acc +. ((v -. mean) *. (v -. mean))) 0.0 values
+          /. (n -. 1.0)
+      in
+      (p, mean, sqrt var))
+    ps

@@ -1,0 +1,1 @@
+lib/routing/demand.ml: Array Bitset Fn_graph Fn_prng Fun Graph List Rng

@@ -1,0 +1,1 @@
+lib/routing/demand.mli: Bitset Fn_graph Fn_prng Graph Rng

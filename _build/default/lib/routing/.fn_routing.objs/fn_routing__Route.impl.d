@@ -1,0 +1,1 @@
+lib/routing/route.ml: Array Bfs Bitset Fn_graph Hashtbl List

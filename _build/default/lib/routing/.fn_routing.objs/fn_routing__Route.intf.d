@@ -1,0 +1,1 @@
+lib/routing/route.mli: Bitset Fn_graph Graph

@@ -1,0 +1,1 @@
+lib/routing/sim.ml: Array Fn_graph Graph List Queue Route

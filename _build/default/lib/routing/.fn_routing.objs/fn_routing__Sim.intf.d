@@ -1,0 +1,1 @@
+lib/routing/sim.mli: Fn_graph Graph Route

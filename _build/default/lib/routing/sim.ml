@@ -1,0 +1,115 @@
+open Fn_graph
+
+type stats = {
+  makespan : int;
+  delivered : int;
+  total : int;
+  max_queue : int;
+  total_hops : int;
+}
+
+(* Directed arc id: position of w in the CSR row of v. *)
+let arc_index g v w =
+  let xadj = Graph.xadj g and adj = Graph.adj g in
+  let lo = ref xadj.(v) and hi = ref (xadj.(v + 1) - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if adj.(mid) = w then found := mid
+    else if adj.(mid) < w then lo := mid + 1
+    else hi := mid - 1
+  done;
+  if !found < 0 then invalid_arg "Sim: route uses a non-edge";
+  !found
+
+let run g route =
+  let num_arcs = Array.length (Graph.adj g) in
+  let queues = Array.make num_arcs ([] : int list) in
+  let queue_rev = Array.make num_arcs ([] : int list) in
+  let queue_len = Array.make num_arcs 0 in
+  (* remaining.(p): list of arcs still to traverse *)
+  let packets =
+    Array.map
+      (fun nodes ->
+        let rec arcs = function
+          | a :: (b :: _ as rest) -> arc_index g a b :: arcs rest
+          | _ -> []
+        in
+        arcs nodes)
+      route.Route.routes
+  in
+  let total = ref 0 in
+  let active_arcs = Queue.create () in
+  let arc_active = Array.make num_arcs false in
+  let activate a =
+    if not arc_active.(a) then begin
+      arc_active.(a) <- true;
+      Queue.add a active_arcs
+    end
+  in
+  let push a p =
+    queue_rev.(a) <- p :: queue_rev.(a);
+    queue_len.(a) <- queue_len.(a) + 1;
+    activate a
+  in
+  let pop a =
+    match queues.(a) with
+    | p :: rest ->
+      queues.(a) <- rest;
+      queue_len.(a) <- queue_len.(a) - 1;
+      Some p
+    | [] -> (
+      match List.rev queue_rev.(a) with
+      | p :: rest ->
+        queues.(a) <- rest;
+        queue_rev.(a) <- [];
+        queue_len.(a) <- queue_len.(a) - 1;
+        Some p
+      | [] -> None)
+  in
+  Array.iteri
+    (fun p arcs ->
+      match arcs with
+      | first :: rest ->
+        incr total;
+        packets.(p) <- rest;
+        push first p
+      | [] -> ())
+    packets;
+  let max_queue = ref 0 in
+  let check_queues () =
+    Array.iter (fun l -> if l > !max_queue then max_queue := l) queue_len
+  in
+  check_queues ();
+  let delivered = ref 0 in
+  let total_hops = ref 0 in
+  let time = ref 0 in
+  let makespan = ref 0 in
+  while not (Queue.is_empty active_arcs) do
+    incr time;
+    (* one forwarding phase: each currently-active arc sends one
+       packet; arrivals are buffered and enqueued after the phase so a
+       packet moves at most one hop per step *)
+    let arrivals = ref [] in
+    let round = Queue.length active_arcs in
+    for _ = 1 to round do
+      let a = Queue.pop active_arcs in
+      arc_active.(a) <- false;
+      match pop a with
+      | None -> ()
+      | Some p ->
+        incr total_hops;
+        (match packets.(p) with
+        | [] ->
+          incr delivered;
+          makespan := !time
+        | next :: rest ->
+          packets.(p) <- rest;
+          arrivals := (next, p) :: !arrivals);
+        if queue_len.(a) > 0 then activate a
+    done;
+    List.iter (fun (a, p) -> push a p) (List.rev !arrivals);
+    check_queues ()
+  done;
+  { makespan = !makespan; delivered = !delivered; total = !total; max_queue = !max_queue;
+    total_hops = !total_hops }

@@ -1,0 +1,24 @@
+open Fn_graph
+
+(** Synchronous store-and-forward packet simulation.
+
+    Packets follow the fixed routes of a {!Route.t}; every directed
+    link forwards one packet per step (FIFO per link).  All packets
+    are injected at time 0.  With congestion c and dilation d the
+    makespan is between max(c, d) and c·d, and for FIFO on shortest
+    paths it lands near the O(c + d) of Leighton–Maggs–Rao — the
+    experiments use the measured makespan as the "time to deliver a
+    permutation" figure of merit for faulty networks. *)
+
+type stats = {
+  makespan : int;  (** steps until the last delivery; 0 if no packets *)
+  delivered : int;
+  total : int;  (** routable packets injected *)
+  max_queue : int;  (** largest link queue observed *)
+  total_hops : int;
+}
+
+val run : Graph.t -> Route.t -> stats
+(** Simulate to completion.  Routes must only use edges of the graph
+    (as produced by {!Route.shortest}); raises [Invalid_argument] on a
+    route using a non-edge. *)

@@ -1,0 +1,32 @@
+type line = { slope : float; intercept : float; r2 : float }
+
+let linear pts =
+  let n = List.length pts in
+  if n < 2 then invalid_arg "Fit.linear: need at least 2 points";
+  let fn = float_of_int n in
+  let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0.0 pts in
+  let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0.0 pts in
+  let sxx = List.fold_left (fun acc (x, _) -> acc +. (x *. x)) 0.0 pts in
+  let sxy = List.fold_left (fun acc (x, y) -> acc +. (x *. y)) 0.0 pts in
+  let denom = (fn *. sxx) -. (sx *. sx) in
+  if abs_float denom < 1e-12 then invalid_arg "Fit.linear: degenerate x values";
+  let slope = ((fn *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. fn in
+  let mean_y = sy /. fn in
+  let ss_tot = List.fold_left (fun acc (_, y) -> acc +. ((y -. mean_y) ** 2.0)) 0.0 pts in
+  let ss_res =
+    List.fold_left
+      (fun acc (x, y) ->
+        let e = y -. ((slope *. x) +. intercept) in
+        acc +. (e *. e))
+      0.0 pts
+  in
+  let r2 = if ss_tot <= 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+  { slope; intercept; r2 }
+
+let log_log pts =
+  List.iter
+    (fun (x, y) ->
+      if x <= 0.0 || y <= 0.0 then invalid_arg "Fit.log_log: coordinates must be positive")
+    pts;
+  linear (List.map (fun (x, y) -> (log x, log y)) pts)

@@ -1,0 +1,16 @@
+(** Least-squares fits, used to extract scaling exponents from
+    experiment sweeps (e.g. "does measured expansion scale like 1/k?"
+    becomes "is the log-log slope ≈ -1?"). *)
+
+type line = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** coefficient of determination *)
+}
+
+val linear : (float * float) list -> line
+(** Ordinary least squares on (x, y) pairs; needs >= 2 distinct x. *)
+
+val log_log : (float * float) list -> line
+(** OLS on (log x, log y); all coordinates must be positive.  The
+    slope is the power-law exponent. *)

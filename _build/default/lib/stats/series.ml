@@ -1,0 +1,56 @@
+type point = { x : float; trials : float list list }
+
+type t = { x_label : string; y_labels : string list; mutable points : point list }
+
+let create ~x_label ~y_labels =
+  if y_labels = [] then invalid_arg "Series.create: no metrics";
+  { x_label; y_labels; points = [] }
+
+let add t ~x trials =
+  let arity = List.length t.y_labels in
+  List.iter
+    (fun trial ->
+      if List.length trial <> arity then invalid_arg "Series.add: metric arity mismatch")
+    trials;
+  t.points <- { x; trials } :: t.points
+
+let add_point t ~x trial = add t ~x [ trial ]
+
+let metric_column trials i = List.map (fun trial -> List.nth trial i) trials
+
+let has_multi t = List.exists (fun p -> List.length p.trials >= 2) t.points
+
+let to_table ?(precision = 4) t =
+  let multi = has_multi t in
+  let headers =
+    t.x_label
+    :: List.concat_map
+         (fun label -> if multi then [ label; label ^ "±std" ] else [ label ])
+         t.y_labels
+  in
+  let table = Table.create headers in
+  List.iter
+    (fun p ->
+      let cells =
+        List.concat
+          (List.mapi
+             (fun i _ ->
+               let xs = Array.of_list (metric_column p.trials i) in
+               let s = Summary.of_array xs in
+               if multi then [ s.Summary.mean; s.Summary.std ] else [ s.Summary.mean ])
+             t.y_labels)
+      in
+      let label =
+        if Float.is_integer p.x && abs_float p.x < 1e15 then Printf.sprintf "%.0f" p.x
+        else Printf.sprintf "%.4g" p.x
+      in
+      Table.add_float_row ~precision table label cells)
+    (List.rev t.points);
+  table
+
+let means t ~metric =
+  List.rev_map
+    (fun p ->
+      let xs = Array.of_list (metric_column p.trials metric) in
+      (p.x, Summary.mean xs))
+    t.points

@@ -1,0 +1,21 @@
+(** Parameter-sweep bookkeeping: one named x-axis, many named y
+    metrics, multiple trials per point.  Experiments accumulate into a
+    series and render it as a {!Table} in one call. *)
+
+type t
+
+val create : x_label:string -> y_labels:string list -> t
+
+val add : t -> x:float -> float list list -> unit
+(** [add t ~x trials] records the trials at sweep point [x]; each
+    trial is one float per y label. *)
+
+val add_point : t -> x:float -> float list -> unit
+(** Single-trial convenience. *)
+
+val to_table : ?precision:int -> t -> Table.t
+(** One row per x, columns: x, then mean (and std when any point has
+    >= 2 trials) per metric, in sweep order. *)
+
+val means : t -> metric:int -> (float * float) list
+(** [(x, mean of metric)] pairs in sweep order, for fitting. *)

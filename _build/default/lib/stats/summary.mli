@@ -1,0 +1,27 @@
+(** Descriptive statistics over float samples. *)
+
+type t = {
+  n : int;
+  mean : float;
+  std : float;  (** sample standard deviation (n-1 denominator) *)
+  sem : float;  (** standard error of the mean *)
+  min : float;
+  max : float;
+}
+
+val of_array : float array -> t
+(** Raises [Invalid_argument] on an empty array. *)
+
+val of_list : float list -> t
+
+val mean : float array -> float
+val std : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for q in [0,1], linear interpolation between order
+    statistics.  Does not mutate the input. *)
+
+val ci95 : t -> float * float
+(** mean ± 1.96·sem. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/topology/basic.ml: Builder Fn_graph

@@ -1,0 +1,1 @@
+lib/topology/basic.mli: Fn_graph Graph

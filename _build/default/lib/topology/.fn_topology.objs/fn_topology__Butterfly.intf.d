@@ -1,0 +1,1 @@
+lib/topology/butterfly.mli: Fn_graph Graph

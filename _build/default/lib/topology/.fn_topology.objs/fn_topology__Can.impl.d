@@ -1,0 +1,1 @@
+lib/topology/can.ml: Array Builder Fn_graph Fn_prng Rng

@@ -1,0 +1,1 @@
+lib/topology/can.mli: Fn_graph Fn_prng Graph Rng

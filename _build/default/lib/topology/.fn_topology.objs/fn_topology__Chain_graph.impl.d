@@ -1,0 +1,1 @@
+lib/topology/chain_graph.ml: Array Bitset Builder Fn_graph Graph

@@ -1,0 +1,1 @@
+lib/topology/chain_graph.mli: Bitset Fn_graph Graph

@@ -1,0 +1,1 @@
+lib/topology/cube_connected_cycles.ml: Builder Fn_graph

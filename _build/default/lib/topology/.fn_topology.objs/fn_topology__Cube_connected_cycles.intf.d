@@ -1,0 +1,1 @@
+lib/topology/cube_connected_cycles.mli: Fn_graph Graph

@@ -1,0 +1,1 @@
+lib/topology/debruijn.ml: Builder Fn_graph

@@ -1,0 +1,1 @@
+lib/topology/debruijn.mli: Fn_graph Graph

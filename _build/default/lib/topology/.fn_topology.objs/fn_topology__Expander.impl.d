@@ -1,0 +1,1 @@
+lib/topology/expander.ml: Builder Fn_graph List Random_graphs

@@ -1,0 +1,1 @@
+lib/topology/expander.mli: Fn_graph Fn_prng Graph Rng

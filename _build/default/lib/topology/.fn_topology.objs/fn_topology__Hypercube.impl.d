@@ -1,0 +1,1 @@
+lib/topology/hypercube.ml: Builder Fn_graph Graph

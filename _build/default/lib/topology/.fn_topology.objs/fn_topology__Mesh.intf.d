@@ -1,0 +1,1 @@
+lib/topology/mesh.mli: Fn_graph Graph

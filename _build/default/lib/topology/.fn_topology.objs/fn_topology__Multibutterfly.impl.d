@@ -1,0 +1,1 @@
+lib/topology/multibutterfly.ml: Array Builder Fn_graph Fn_prng Graph List Rng

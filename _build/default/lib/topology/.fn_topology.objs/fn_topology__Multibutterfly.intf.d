@@ -1,0 +1,1 @@
+lib/topology/multibutterfly.mli: Fn_graph Fn_prng Graph Rng

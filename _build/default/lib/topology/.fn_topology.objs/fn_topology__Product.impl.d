@@ -1,0 +1,1 @@
+lib/topology/product.ml: Builder Fn_graph Graph

@@ -1,0 +1,1 @@
+lib/topology/product.mli: Fn_graph Graph

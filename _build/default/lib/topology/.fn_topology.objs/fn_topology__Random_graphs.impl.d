@@ -1,0 +1,1 @@
+lib/topology/random_graphs.ml: Array Builder Components Dist Fn_graph Fn_prng Hashtbl Rng

@@ -1,0 +1,1 @@
+lib/topology/shuffle_exchange.ml: Builder Fn_graph

@@ -1,0 +1,1 @@
+lib/topology/shuffle_exchange.mli: Fn_graph Graph

@@ -1,0 +1,1 @@
+lib/topology/torus.ml: Array Builder Fn_graph Mesh

@@ -1,0 +1,1 @@
+lib/topology/torus.mli: Fn_graph Graph Mesh

@@ -1,0 +1,61 @@
+open Fn_graph
+
+let complete n =
+  let b = Builder.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Builder.add_edge b u v
+    done
+  done;
+  Builder.to_graph b
+
+let cycle n =
+  if n < 3 then invalid_arg "Basic.cycle: need n >= 3";
+  let b = Builder.create n in
+  for v = 0 to n - 1 do
+    Builder.add_edge b v ((v + 1) mod n)
+  done;
+  Builder.to_graph b
+
+let path n =
+  let b = Builder.create n in
+  for v = 0 to n - 2 do
+    Builder.add_edge b v (v + 1)
+  done;
+  Builder.to_graph b
+
+let star n =
+  if n < 1 then invalid_arg "Basic.star: need n >= 1";
+  let b = Builder.create n in
+  for v = 1 to n - 1 do
+    Builder.add_edge b 0 v
+  done;
+  Builder.to_graph b
+
+let complete_bipartite a bn =
+  let b = Builder.create (a + bn) in
+  for u = 0 to a - 1 do
+    for v = a to a + bn - 1 do
+      Builder.add_edge b u v
+    done
+  done;
+  Builder.to_graph b
+
+let barbell n =
+  if n < 1 then invalid_arg "Basic.barbell: need n >= 1";
+  let b = Builder.create (2 * n) in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Builder.add_edge b u v;
+      Builder.add_edge b (n + u) (n + v)
+    done
+  done;
+  Builder.add_edge b (n - 1) n;
+  Builder.to_graph b
+
+let binary_tree n =
+  let b = Builder.create n in
+  for v = 1 to n - 1 do
+    Builder.add_edge b v ((v - 1) / 2)
+  done;
+  Builder.to_graph b

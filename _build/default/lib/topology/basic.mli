@@ -1,0 +1,27 @@
+open Fn_graph
+
+(** Elementary graph families: calibration baselines and degenerate
+    cases for tests. *)
+
+val complete : int -> Graph.t
+(** K_n. *)
+
+val cycle : int -> Graph.t
+(** C_n; requires n >= 3. *)
+
+val path : int -> Graph.t
+(** P_n (n nodes, n-1 edges). *)
+
+val star : int -> Graph.t
+(** One hub (node 0) connected to n-1 leaves. *)
+
+val complete_bipartite : int -> int -> Graph.t
+(** K_{a,b}: nodes [0..a-1] on the left, [a..a+b-1] on the right. *)
+
+val barbell : int -> Graph.t
+(** Two K_n cliques joined by a single edge — the canonical
+    low-expansion bottleneck graph (2n nodes). *)
+
+val binary_tree : int -> Graph.t
+(** Complete binary tree with the given number of nodes (heap
+    numbering: children of i are 2i+1, 2i+2). *)

@@ -1,0 +1,19 @@
+open Fn_graph
+
+let node ~d ~cube ~pos = (cube * d) + pos
+
+let graph d =
+  if d < 1 || d > 18 then invalid_arg "Cube_connected_cycles.graph: need 1 <= d <= 18";
+  let cubes = 1 lsl d in
+  let b = Builder.create (cubes * d) in
+  for cube = 0 to cubes - 1 do
+    for pos = 0 to d - 1 do
+      let v = node ~d ~cube ~pos in
+      (* cycle edge *)
+      if d > 1 then Builder.add_edge b v (node ~d ~cube ~pos:((pos + 1) mod d));
+      (* hypercube edge along dimension pos *)
+      let other = cube lxor (1 lsl pos) in
+      if cube < other then Builder.add_edge b v (node ~d ~cube:other ~pos)
+    done
+  done;
+  Builder.to_graph b

@@ -1,0 +1,13 @@
+open Fn_graph
+
+(** The cube-connected-cycles network CCC(d): each hypercube node is
+    replaced by a d-cycle whose i-th member owns the dimension-i
+    hypercube edge.  Degree 3 everywhere (for d >= 3) — the classic
+    bounded-degree stand-in for the hypercube in the fault-tolerance
+    literature the paper surveys. *)
+
+val graph : int -> Graph.t
+(** [graph d] has d·2^d nodes; requires [1 <= d <= 18].  Node
+    (cube, pos) is numbered cube*d + pos. *)
+
+val node : d:int -> cube:int -> pos:int -> int

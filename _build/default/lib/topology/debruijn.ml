@@ -1,0 +1,14 @@
+open Fn_graph
+
+let graph k =
+  if k < 1 || k > 22 then invalid_arg "Debruijn.graph: need 1 <= k <= 22";
+  let n = 1 lsl k in
+  let mask = n - 1 in
+  let b = Builder.create n in
+  for v = 0 to n - 1 do
+    let s0 = (v lsl 1) land mask in
+    let s1 = s0 lor 1 in
+    if s0 <> v then Builder.add_edge b v s0;
+    if s1 <> v then Builder.add_edge b v s1
+  done;
+  Builder.to_graph b

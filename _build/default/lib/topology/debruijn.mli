@@ -1,0 +1,9 @@
+open Fn_graph
+
+(** The binary de Bruijn graph of dimension k, as an undirected graph:
+    node x in {0,1}^k is adjacent to its shifts (2x mod 2^k) and
+    (2x+1 mod 2^k).  Self-loops (at 0...0 and 1...1) are dropped.
+    One of the paper's O(1)-span conjecture targets (E10). *)
+
+val graph : int -> Graph.t
+(** [graph k] has 2^k nodes; requires [1 <= k <= 22]. *)

@@ -1,0 +1,28 @@
+open Fn_graph
+
+let random_regular rng ~n ~d = Random_graphs.connected_random_regular rng n d
+
+let margulis m =
+  if m < 2 then invalid_arg "Expander.margulis: need m >= 2";
+  let n = m * m in
+  let id x y = (((x mod m) + m) mod m * m) + (((y mod m) + m) mod m) in
+  let b = Builder.create n in
+  for x = 0 to m - 1 do
+    for y = 0 to m - 1 do
+      let v = id x y in
+      let targets =
+        [
+          id (x + y) y;
+          id (x - y) y;
+          id (x + y + 1) y;
+          id (x - y - 1) y;
+          id x (y + x);
+          id x (y - x);
+          id x (y + x + 1);
+          id x (y - x - 1);
+        ]
+      in
+      List.iter (fun w -> if w <> v then Builder.add_edge b v w) targets
+    done
+  done;
+  Builder.to_graph b

@@ -1,0 +1,25 @@
+open Fn_graph
+open Fn_prng
+
+(** Expander families.
+
+    The paper's constructions (Theorems 2.3 and 3.1) start from "an
+    infinite family of constant-degree expander graphs with constant
+    expansion β and degree δ".  We provide two realisations:
+
+    - {!random_regular}: random d-regular graphs, expanders w.h.p.
+      (Bollobás); the default base family in the experiments.
+    - {!margulis}: the explicit degree-8 Margulis-Gabber-Galil
+      construction on Z_m x Z_m, which has a guaranteed spectral gap —
+      deterministic, used when reproducibility must not even depend on
+      a seed. *)
+
+val random_regular : Rng.t -> n:int -> d:int -> Graph.t
+(** Connected random d-regular graph (see {!Random_graphs}). *)
+
+val margulis : int -> Graph.t
+(** [margulis m] is the Margulis-Gabber-Galil expander on n = m^2
+    nodes: (x,y) is adjacent to (x+y, y), (x-y, y), (x+y+1, y),
+    (x-y-1, y), (x, y+x), (x, y-x), (x, y+x+1), (x, y-x-1), all mod m.
+    Degree <= 8 (self-loops and duplicate targets merged).  Requires
+    [m >= 2]. *)

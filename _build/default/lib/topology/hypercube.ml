@@ -1,0 +1,21 @@
+open Fn_graph
+
+let graph d =
+  if d < 0 || d > 25 then invalid_arg "Hypercube.graph: need 0 <= d <= 25";
+  let n = 1 lsl d in
+  let b = Builder.create n in
+  for v = 0 to n - 1 do
+    for bit = 0 to d - 1 do
+      let w = v lxor (1 lsl bit) in
+      if v < w then Builder.add_edge b v w
+    done
+  done;
+  Builder.to_graph b
+
+let dimension g =
+  let n = Graph.num_nodes g in
+  if n <= 0 then None
+  else begin
+    let rec log2 x acc = if x = 1 then Some acc else if x land 1 = 1 then None else log2 (x / 2) (acc + 1) in
+    log2 n 0
+  end

@@ -1,0 +1,13 @@
+open Fn_graph
+
+let graph k =
+  if k < 1 || k > 22 then invalid_arg "Shuffle_exchange.graph: need 1 <= k <= 22";
+  let n = 1 lsl k in
+  let mask = n - 1 in
+  let b = Builder.create n in
+  for v = 0 to n - 1 do
+    Builder.add_edge b v (v lxor 1);
+    let shuffled = ((v lsl 1) land mask) lor (v lsr (k - 1)) in
+    if shuffled <> v then Builder.add_edge b v shuffled
+  done;
+  Builder.to_graph b

@@ -1,0 +1,9 @@
+open Fn_graph
+
+(** The binary shuffle-exchange graph of dimension k: node x is
+    adjacent to x xor 1 (exchange) and to its cyclic shifts
+    (shuffle / unshuffle).  Fixed points of the shuffle are dropped.
+    One of the paper's O(1)-span conjecture targets (E10). *)
+
+val graph : int -> Graph.t
+(** [graph k] has 2^k nodes; requires [1 <= k <= 22]. *)

@@ -1,0 +1,22 @@
+open Fn_graph
+
+let graph dims =
+  let geo = Mesh.geometry dims in
+  let d = Array.length dims in
+  let b = Builder.create geo.Mesh.size in
+  for v = 0 to geo.Mesh.size - 1 do
+    let coords = Mesh.decode geo v in
+    for i = 0 to d - 1 do
+      if dims.(i) > 1 then begin
+        let next = Array.copy coords in
+        next.(i) <- (coords.(i) + 1) mod dims.(i);
+        let w = Mesh.encode geo next in
+        (* sides of length 2 produce the same edge from both endpoints;
+           Builder/Graph dedupe handles it *)
+        if w <> v then Builder.add_edge b v w
+      end
+    done
+  done;
+  (Builder.to_graph b, geo)
+
+let cube ~d ~side = graph (Array.make d side)

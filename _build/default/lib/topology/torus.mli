@@ -1,0 +1,15 @@
+open Fn_graph
+
+(** d-dimensional tori (meshes with wraparound).
+
+    The torus is the regular sibling of the mesh: degree 2d
+    everywhere (for sides >= 3), which simplifies the degree bounds
+    in Theorem 3.4 experiments, and it is the steady-state topology
+    of the CAN overlay discussed in the paper's conclusion. *)
+
+val graph : int array -> Graph.t * Mesh.geometry
+(** [graph dims] builds the torus with the given side lengths.  Sides
+    of length 1 or 2 are handled (wrap edges that would duplicate a
+    mesh edge are merged). *)
+
+val cube : d:int -> side:int -> Graph.t * Mesh.geometry

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Bitset Fn_graph List Printf QCheck2 Testutil

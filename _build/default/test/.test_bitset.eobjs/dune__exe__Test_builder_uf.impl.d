@@ -1,0 +1,1 @@
+test/test_builder_uf.ml: Alcotest Components Fn_graph Graph Testutil Union_find

@@ -1,0 +1,1 @@
+test/test_can.ml: Alcotest Array Components Fn_graph Fn_prng Fn_topology Graph List Printf Testutil

@@ -1,0 +1,1 @@
+test/test_compact.ml: Alcotest Bfs Bitset Boundary Compact Faultnet Fn_graph Fn_prng Fn_topology Format Graph List Printf QCheck2 Testutil

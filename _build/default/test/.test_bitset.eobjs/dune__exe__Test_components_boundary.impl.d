@@ -1,0 +1,1 @@
+test/test_components_boundary.ml: Alcotest Array Bitset Boundary Components Fn_graph Fn_topology Graph List Testutil

@@ -1,0 +1,1 @@
+test/test_embedding.ml: Alcotest Array Bitset Components Embedding Faultnet Fn_faults Fn_graph Fn_prng Fn_topology Graph Hashtbl Testutil

@@ -1,0 +1,1 @@
+test/test_expansion.ml: Alcotest Analytic Array Bitset Cut Estimate Exact Fn_expansion Fn_graph Fn_prng Fn_topology Graph Local_search QCheck2 Sweep Testutil

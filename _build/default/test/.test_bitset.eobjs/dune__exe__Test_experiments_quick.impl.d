@@ -1,0 +1,1 @@
+test/test_experiments_quick.ml: Alcotest Fn_experiments List Printf String Testutil

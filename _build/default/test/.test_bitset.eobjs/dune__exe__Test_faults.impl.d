@@ -1,0 +1,1 @@
+test/test_faults.ml: Adversary Alcotest Bitset Churn Components Fault_set Fn_faults Fn_graph Fn_prng Fn_topology Graph List Random_faults Testutil

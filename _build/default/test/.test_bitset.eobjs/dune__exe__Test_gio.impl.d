@@ -1,0 +1,1 @@
+test/test_gio.ml: Alcotest Bitset Filename Fn_graph Fn_topology Fun Gio Graph List String Sys Testutil

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Bitset Builder Check Fn_graph Graph List Testutil

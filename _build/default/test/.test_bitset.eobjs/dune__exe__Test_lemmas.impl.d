@@ -1,0 +1,1 @@
+test/test_lemmas.ml: Alcotest Array Bitset Boundary Faultnet Float Fn_faults Fn_graph Fn_prng Fn_topology Graph List Testutil

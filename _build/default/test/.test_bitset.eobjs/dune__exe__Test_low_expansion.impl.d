@@ -1,0 +1,1 @@
+test/test_low_expansion.ml: Alcotest Bitset Boundary Faultnet Fn_expansion Fn_graph Fn_prng Fn_topology Graph Low_expansion Testutil

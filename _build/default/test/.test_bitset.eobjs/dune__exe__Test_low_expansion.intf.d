@@ -1,0 +1,1 @@
+test/test_low_expansion.mli:

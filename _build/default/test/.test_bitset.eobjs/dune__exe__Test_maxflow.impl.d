@@ -1,0 +1,1 @@
+test/test_maxflow.ml: Alcotest Bitset Boundary Fn_graph Fn_topology Graph List Maxflow Testutil

@@ -1,0 +1,1 @@
+test/test_mesh_span.ml: Alcotest Bitset Compact Dfs Faultnet Fn_graph Fn_prng Fn_topology Format List Mesh_span Testutil

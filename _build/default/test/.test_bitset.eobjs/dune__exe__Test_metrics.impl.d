@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Bitset Fn_graph Fn_prng Fn_topology Graph Metrics Testutil

@@ -1,0 +1,1 @@
+test/test_multibutterfly.ml: Alcotest Array Check Components Fn_graph Fn_prng Fn_topology Graph Testutil

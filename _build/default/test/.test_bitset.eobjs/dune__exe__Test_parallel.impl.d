@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Fn_parallel Fn_prng Fun List Par Printf Testutil

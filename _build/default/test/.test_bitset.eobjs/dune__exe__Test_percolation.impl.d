@@ -1,0 +1,1 @@
+test/test_percolation.ml: Alcotest Array Fn_percolation Fn_prng Fn_topology List Newman_ziff Testutil Threshold

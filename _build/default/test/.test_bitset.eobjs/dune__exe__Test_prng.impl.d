@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Dist Fn_prng Fun List Rng Testutil

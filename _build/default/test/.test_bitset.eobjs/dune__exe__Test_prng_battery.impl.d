@@ -1,0 +1,1 @@
+test/test_prng_battery.ml: Alcotest Array Fn_prng Hashtbl Int64 Printf Rng Testutil

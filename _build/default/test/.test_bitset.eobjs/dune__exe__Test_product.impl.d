@@ -1,0 +1,1 @@
+test/test_product.ml: Alcotest Array Basic Check Components Fn_expansion Fn_graph Fn_topology Graph Hypercube Mesh Product QCheck2 Testutil Torus

@@ -1,0 +1,1 @@
+test/test_prune.ml: Alcotest Bitset Builder Faultnet Fn_expansion Fn_faults Fn_graph Fn_prng Fn_topology Graph List Prune Testutil Theorem

@@ -1,0 +1,1 @@
+test/test_prune2.ml: Alcotest Bitset Dfs Faultnet Fn_faults Fn_graph Fn_prng Fn_topology Graph List Printf Prune2 Testutil Theorem

@@ -1,0 +1,1 @@
+test/test_prune2.mli:

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Bitset Demand Fn_graph Fn_prng Fn_routing Fn_topology List Route Sim Testutil

@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Faultnet Fn_faults Fn_graph Fn_prng Fn_topology Graph List Scenario String Testutil

@@ -1,0 +1,1 @@
+test/test_span.ml: Alcotest Bitset Compact Faultnet Fn_graph Fn_prng Fn_topology Graph List Span Steiner Testutil

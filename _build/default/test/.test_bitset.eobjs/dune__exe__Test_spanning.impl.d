@@ -1,0 +1,1 @@
+test/test_spanning.ml: Alcotest Array Bitset Fn_graph Fn_topology Graph List Spanning_tree Testutil

@@ -1,0 +1,1 @@
+test/test_spectral.ml: Alcotest Array Bitset Cut Exact Float Fn_expansion Fn_graph Fn_topology Graph List Printf Spectral Testutil

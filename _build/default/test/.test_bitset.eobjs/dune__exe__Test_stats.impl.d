@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Fit Fn_stats List QCheck2 Series String Summary Table Testutil

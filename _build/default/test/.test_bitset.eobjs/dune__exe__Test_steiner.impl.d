@@ -1,0 +1,1 @@
+test/test_steiner.ml: Alcotest Array Bitset Fn_graph Fn_topology Fun Graph QCheck2 Steiner Testutil

@@ -1,0 +1,1 @@
+test/test_subgraph.ml: Alcotest Array Bitset Check Fn_graph Fn_topology Graph Subgraph Testutil

@@ -1,0 +1,1 @@
+test/test_theorem.ml: Alcotest Faultnet Float Testutil Theorem

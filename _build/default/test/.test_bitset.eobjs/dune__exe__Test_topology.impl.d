@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Bitset Boundary Check Components Fn_graph Fn_prng Fn_topology Fun Graph List Printf Testutil

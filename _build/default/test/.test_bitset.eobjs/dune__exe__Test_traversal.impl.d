@@ -1,0 +1,1 @@
+test/test_traversal.ml: Alcotest Array Bfs Bitset Dfs Fn_graph Fn_topology Graph List Testutil

@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Array Bitset Fn_graph Format Graph List Printf QCheck2 QCheck_alcotest String

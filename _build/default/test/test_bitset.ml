@@ -1,0 +1,131 @@
+open Fn_graph
+open Testutil
+
+let test_empty_and_full () =
+  let e = Bitset.create 100 in
+  check_int "empty cardinal" 0 (Bitset.cardinal e);
+  check_bool "is_empty" true (Bitset.is_empty e);
+  let f = Bitset.create_full 100 in
+  check_int "full cardinal" 100 (Bitset.cardinal f);
+  check_bool "full not empty" false (Bitset.is_empty f);
+  check_int "universe" 100 (Bitset.universe f)
+
+let test_word_boundaries () =
+  (* exercise sizes around the 63-bit word boundary *)
+  List.iter
+    (fun n ->
+      let f = Bitset.create_full n in
+      check_int (Printf.sprintf "full cardinal n=%d" n) n (Bitset.cardinal f);
+      let c = Bitset.complement f in
+      check_int (Printf.sprintf "complement of full n=%d" n) 0 (Bitset.cardinal c);
+      for v = 0 to n - 1 do
+        if not (Bitset.mem f v) then Alcotest.failf "missing %d of %d" v n
+      done)
+    [ 1; 62; 63; 64; 126; 127 ]
+
+let test_add_remove () =
+  let s = Bitset.create 10 in
+  Bitset.add s 3;
+  Bitset.add s 7;
+  Bitset.add s 3;
+  check_int "cardinal after dup add" 2 (Bitset.cardinal s);
+  check_bool "mem 3" true (Bitset.mem s 3);
+  check_bool "mem 4" false (Bitset.mem s 4);
+  Bitset.remove s 3;
+  check_bool "removed" false (Bitset.mem s 3);
+  Bitset.set s 4 true;
+  check_bool "set true" true (Bitset.mem s 4);
+  Bitset.set s 4 false;
+  check_bool "set false" false (Bitset.mem s 4)
+
+let test_bounds_checked () =
+  let s = Bitset.create 5 in
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index out of universe")
+    (fun () -> ignore (Bitset.mem s (-1)));
+  Alcotest.check_raises "too large" (Invalid_argument "Bitset: index out of universe")
+    (fun () -> Bitset.add s 5)
+
+let test_iter_order () =
+  let s = Bitset.of_list 200 [ 5; 190; 63; 64; 0 ] in
+  check_bool "to_list sorted" true (Bitset.to_list s = [ 0; 5; 63; 64; 190 ])
+
+let test_set_operations () =
+  let a = Bitset.of_list 10 [ 1; 2; 3 ] in
+  let b = Bitset.of_list 10 [ 3; 4 ] in
+  let u = Bitset.copy a in
+  Bitset.union_into u b;
+  check_bool "union" true (Bitset.to_list u = [ 1; 2; 3; 4 ]);
+  let i = Bitset.copy a in
+  Bitset.inter_into i b;
+  check_bool "inter" true (Bitset.to_list i = [ 3 ]);
+  let d = Bitset.copy a in
+  Bitset.diff_into d b;
+  check_bool "diff" true (Bitset.to_list d = [ 1; 2 ]);
+  check_bool "subset yes" true (Bitset.subset i a);
+  check_bool "subset no" false (Bitset.subset a b);
+  check_bool "disjoint no" false (Bitset.disjoint a b);
+  check_bool "disjoint yes" true (Bitset.disjoint i (Bitset.of_list 10 [ 7 ]))
+
+let test_choose () =
+  check_bool "choose empty" true (Bitset.choose (Bitset.create 4) = None);
+  check_bool "choose smallest" true (Bitset.choose (Bitset.of_list 9 [ 8; 2; 5 ]) = Some 2)
+
+let test_universe_mismatch () =
+  let a = Bitset.create 4 and b = Bitset.create 5 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Bitset: universe mismatch") (fun () ->
+      Bitset.union_into a b)
+
+let gen_int_set =
+  QCheck2.Gen.(
+    int_range 1 150 >>= fun n ->
+    list_size (int_range 0 60) (int_range 0 (n - 1)) >>= fun xs -> return (n, xs))
+
+let prop_roundtrip =
+  prop "of_list/to_list is sorted dedup" gen_int_set (fun (n, xs) ->
+      let s = Bitset.of_list n xs in
+      Bitset.to_list s = List.sort_uniq compare xs)
+
+let prop_complement_involution =
+  prop "complement twice is identity" gen_int_set (fun (n, xs) ->
+      let s = Bitset.of_list n xs in
+      Bitset.equal s (Bitset.complement (Bitset.complement s)))
+
+let prop_cardinal_union_inter =
+  prop "inclusion-exclusion" ~count:200
+    QCheck2.Gen.(pair gen_int_set gen_int_set)
+    (fun ((n1, xs), (n2, ys)) ->
+      let n = max n1 n2 in
+      let a = Bitset.of_list n xs and b = Bitset.of_list n ys in
+      let u = Bitset.copy a in
+      Bitset.union_into u b;
+      let i = Bitset.copy a in
+      Bitset.inter_into i b;
+      Bitset.cardinal u + Bitset.cardinal i = Bitset.cardinal a + Bitset.cardinal b)
+
+let prop_fold_counts =
+  prop "fold visits cardinal elements" gen_int_set (fun (n, xs) ->
+      let s = Bitset.of_list n xs in
+      Bitset.fold (fun _ acc -> acc + 1) s 0 = Bitset.cardinal s)
+
+let () =
+  Alcotest.run "bitset"
+    [
+      ( "unit",
+        [
+          case "empty and full" test_empty_and_full;
+          case "word boundaries" test_word_boundaries;
+          case "add/remove" test_add_remove;
+          case "bounds checked" test_bounds_checked;
+          case "iter order" test_iter_order;
+          case "set operations" test_set_operations;
+          case "choose" test_choose;
+          case "universe mismatch" test_universe_mismatch;
+        ] );
+      ( "properties",
+        [
+          prop_roundtrip;
+          prop_complement_involution;
+          prop_cardinal_union_inter;
+          prop_fold_counts;
+        ] );
+    ]

@@ -1,0 +1,100 @@
+(* End-to-end tests of the command-line binary: spawn it, capture
+   stdout, compare.  The test runs from _build/default/test, so the
+   binary sits at ../bin/faultnet_cli.exe. *)
+
+open Testutil
+
+let binary =
+  (* cwd is _build/default/test under `dune runtest`, the project root
+     under `dune exec` *)
+  let candidates =
+    [
+      Filename.concat (Filename.concat ".." "bin") "faultnet_cli.exe";
+      List.fold_left Filename.concat "_build" [ "default"; "bin"; "faultnet_cli.exe" ];
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let run_cli args =
+  let out = Filename.temp_file "faultnet_cli" ".out" in
+  let cmd = Printf.sprintf "%s %s > %s 2>&1" binary args out in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let text =
+    Fun.protect
+      ~finally:(fun () ->
+        close_in ic;
+        Sys.remove out)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (code, String.trim text)
+
+let test_gen_mesh () =
+  let code, out = run_cli "gen -t mesh:3x3" in
+  check_int "exit" 0 code;
+  let lines = String.split_on_char '\n' out in
+  check_bool "header" true (List.hd lines = "# nodes 9 edges 12");
+  check_int "12 edges + header" 13 (List.length lines)
+
+let test_expansion_exact () =
+  let code, out = run_cli "expansion -t mesh:4x4 --objective edge" in
+  check_int "exit" 0 code;
+  check_bool "reports exact value" true
+    (String.split_on_char '\n' out
+    |> List.exists (fun l -> l = "edge expansion (exact): 0.500000 (witness side 8)"))
+
+let test_connectivity () =
+  let code, out = run_cli "connectivity -t hypercube:3" in
+  check_int "exit" 0 code;
+  check_bool "edge connectivity line" true
+    (String.split_on_char '\n' out
+    |> List.exists (fun l -> l = "edge connectivity: 3 (min degree 3)"))
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "faultnet" ".edges" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let code, _ = run_cli (Printf.sprintf "gen -t cycle:5 -o %s" path) in
+      check_int "gen exit" 0 code;
+      let code, out = run_cli (Printf.sprintf "expansion -i %s" path) in
+      check_int "expansion exit" 0 code;
+      check_bool "cycle value" true
+        (String.split_on_char '\n' out
+        |> List.exists (fun l -> l = "node expansion (exact): 1.000000 (witness side 2)")))
+
+let test_unknown_experiment_fails () =
+  let code, out = run_cli "experiment E99" in
+  check_bool "nonzero exit" true (code <> 0);
+  check_bool "mentions the id" true
+    (let needle = "E99" in
+     let nl = String.length needle and sl = String.length out in
+     let rec scan i = i + nl <= sl && (String.sub out i nl = needle || scan (i + 1)) in
+     scan 0)
+
+let test_determinism_across_runs () =
+  let _, a = run_cli "report -t torus:8x8 --fault-p 0.1 --seed 5" in
+  let _, b = run_cli "report -t torus:8x8 --fault-p 0.1 --seed 5" in
+  check_bool "same seed, same report" true (a = b);
+  let _, c = run_cli "report -t torus:8x8 --fault-p 0.1 --seed 6" in
+  check_bool "different seed, different faults" true (a <> c)
+
+let () =
+  if not (Sys.file_exists binary) then begin
+    print_endline "faultnet_cli.exe not found next to the test; skipping CLI suite";
+    exit 0
+  end;
+  Alcotest.run "cli"
+    [
+      ( "end-to-end",
+        [
+          case "gen mesh" test_gen_mesh;
+          case "exact expansion" test_expansion_exact;
+          case "connectivity" test_connectivity;
+          case "file roundtrip" test_file_roundtrip;
+          case "unknown experiment" test_unknown_experiment_fails;
+          case "determinism" test_determinism_across_runs;
+        ] );
+    ]

@@ -1,0 +1,204 @@
+open Fn_graph
+open Fn_expansion
+open Testutil
+
+let rng () = Fn_prng.Rng.create 31415
+
+let test_exact_complete () =
+  let c = Exact.node_expansion (Fn_topology.Basic.complete 8) in
+  check_float "K8 node expansion" (Analytic.complete_node_exact 8) c.Cut.value;
+  check_int "witness half" 4 (Bitset.cardinal c.Cut.set)
+
+let test_exact_cycle () =
+  let c = Exact.node_expansion (Fn_topology.Basic.cycle 10) in
+  check_float "C10" (Analytic.cycle_node_exact 10) c.Cut.value
+
+let test_exact_path () =
+  let c = Exact.node_expansion (Fn_topology.Basic.path 9) in
+  check_float "P9" (Analytic.path_node_exact 9) c.Cut.value
+
+let test_exact_star () =
+  (* removing the hub isolates leaves: best cut is floor(n/2) leaves
+     with boundary {hub} *)
+  let c = Exact.node_expansion (Fn_topology.Basic.star 9) in
+  check_float "star" 0.25 c.Cut.value
+
+let test_exact_barbell () =
+  (* barbell bottleneck: one clique side, boundary is the single
+     bridge endpoint *)
+  let c = Exact.node_expansion (Fn_topology.Basic.barbell 5) in
+  check_float "barbell" 0.2 c.Cut.value;
+  let e = Exact.edge_expansion (Fn_topology.Basic.barbell 5) in
+  check_float "barbell edge" 0.2 e.Cut.value
+
+let test_exact_mesh_edge () =
+  let g, _ = Fn_topology.Mesh.cube ~d:2 ~side:4 in
+  let e = Exact.edge_expansion g in
+  check_float "4x4 mesh edge expansion" 0.5 e.Cut.value
+
+let test_exact_hypercube_edge () =
+  let g = Fn_topology.Hypercube.graph 3 in
+  let e = Exact.edge_expansion g in
+  check_float "Q3 edge expansion" (Analytic.hypercube_edge_exact 3) e.Cut.value
+
+let test_exact_disconnected () =
+  let g = Graph.of_edges 4 [ (0, 1); (2, 3) ] in
+  let c = Exact.node_expansion g in
+  check_float "disconnected" 0.0 c.Cut.value
+
+let test_exact_limits () =
+  Alcotest.check_raises "too small" (Invalid_argument "Exact: need at least 2 nodes")
+    (fun () -> ignore (Exact.node_expansion (Graph.empty 1)));
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Exact: graph too large for exhaustive search") (fun () ->
+      ignore (Exact.node_expansion (Fn_topology.Basic.cycle 30)))
+
+let test_cut_make_and_better () =
+  let g = Fn_topology.Basic.path 4 in
+  let u = Bitset.of_list 4 [ 0 ] in
+  let c = Cut.make g Cut.Node u in
+  check_float "value" 1.0 c.Cut.value;
+  let u2 = Bitset.of_list 4 [ 0; 1 ] in
+  let c2 = Cut.make g Cut.Node u2 in
+  check_float "better value" 0.5 (Cut.better c c2).Cut.value
+
+let test_sweep_finds_mesh_cut () =
+  let g, _ = Fn_topology.Mesh.cube ~d:2 ~side:4 in
+  let c = Sweep.spectral_cut g Cut.Edge in
+  check_float "sweep finds the optimal mesh cut" 0.5 c.Cut.value
+
+let test_sweep_arity_checks () =
+  let g = Fn_topology.Basic.path 4 in
+  Alcotest.check_raises "score length"
+    (Invalid_argument "Sweep.best_prefix: score length mismatch") (fun () ->
+      ignore (Sweep.best_prefix g ~score:[| 0.0 |] Cut.Node))
+
+let test_local_search_never_worse () =
+  let g, _ = Fn_topology.Mesh.cube ~d:2 ~side:4 in
+  (* start from a bad cut: scattered nodes *)
+  let bad = Cut.make g Cut.Node (Bitset.of_list 16 [ 0; 7; 10 ]) in
+  let improved = Local_search.improve g bad in
+  check_bool "improved or equal" true (improved.Cut.value <= bad.Cut.value +. 1e-12)
+
+let test_estimate_exact_small () =
+  let est = Estimate.run (Fn_topology.Basic.cycle 12) Cut.Node in
+  check_bool "exact flag" true est.Estimate.exact;
+  check_float "C12 value" (Analytic.cycle_node_exact 12) est.Estimate.value
+
+let test_estimate_disconnected () =
+  let g = Graph.of_edges 5 [ (0, 1); (2, 3); (3, 4) ] in
+  let est = Estimate.run g Cut.Node in
+  check_float "zero" 0.0 est.Estimate.value;
+  check_int "small component witness" 2 (Bitset.cardinal est.Estimate.witness)
+
+let test_estimate_heuristic_on_larger () =
+  let g, _ = Fn_topology.Mesh.cube ~d:2 ~side:8 in
+  let est = Estimate.run ~rng:(rng ()) g Cut.Edge in
+  check_bool "not exact" false est.Estimate.exact;
+  (* true edge expansion of the 8x8 mesh is 8/32 = 0.25.  The square
+     mesh's lambda2 is doubly degenerate (row/column modes), so the
+     sweep may return a staircase cut; require the portfolio to land
+     within 60% of optimal, and never below it. *)
+  check_bool "upper bound" true (est.Estimate.value >= 0.25 -. 1e-9);
+  check_bool "within 1.6x of optimal" true (est.Estimate.value <= 0.25 *. 1.6 +. 1e-9);
+  match est.Estimate.lower with
+  | Some lb -> check_bool "lower bound below value" true (lb <= est.Estimate.value +. 1e-9)
+  | None -> Alcotest.fail "edge objective should produce a lower bound"
+
+let test_estimate_alive_mask () =
+  let g, _ = Fn_topology.Mesh.cube ~d:2 ~side:4 in
+  (* keep only the left 2x4 half alive: a 2x4 mesh remains *)
+  let alive = Bitset.of_list 16 [ 0; 1; 4; 5; 8; 9; 12; 13 ] in
+  let est = Estimate.run ~alive g Cut.Edge in
+  check_bool "value positive" true (est.Estimate.value > 0.0);
+  check_bool "witness inside alive" true (Bitset.subset est.Estimate.witness alive)
+
+let test_estimate_requires_two () =
+  Alcotest.check_raises "singleton" (Invalid_argument "Estimate.run: need at least 2 alive nodes")
+    (fun () -> ignore (Estimate.run (Graph.empty 1) Cut.Node))
+
+let test_edge_profile_path () =
+  (* prefixes of the path have exactly one crossing edge *)
+  let profile = Exact.edge_isoperimetric_profile (Fn_topology.Basic.path 10) in
+  Array.iter (fun b -> check_int "path prefix cut" 1 b) profile
+
+let test_edge_profile_hypercube () =
+  (* Harper: |U| = 2^s subcubes are optimal; for Q3 the known minima
+     at sizes 1..4 are 3, 4, 5, 4 *)
+  let profile = Exact.edge_isoperimetric_profile (Fn_topology.Hypercube.graph 3) in
+  check_bool "Q3 edge profile" true (profile = [| 3; 4; 5; 4 |])
+
+let prop_spectral_lower_sound =
+  prop "certified lower bound never exceeds exact edge expansion" ~count:50
+    (Testutil.gen_connected_graph ~max_n:11 ())
+    (fun g ->
+      let exact = (Exact.edge_expansion g).Cut.value in
+      let est = Estimate.run ~force_heuristic:true ~rng:(rng ()) g Cut.Edge in
+      match est.Estimate.lower with
+      | None -> false
+      | Some lb -> lb <= exact +. 1e-6)
+
+let prop_heuristic_upper_bounds_exact =
+  prop "heuristic value >= exact value" ~count:60
+    (Testutil.gen_connected_graph ~max_n:12 ())
+    (fun g ->
+      let exact = (Exact.node_expansion g).Cut.value in
+      let est = Estimate.run ~force_heuristic:true ~rng:(rng ()) g Cut.Node in
+      est.Estimate.value >= exact -. 1e-9)
+
+let prop_witness_is_valid_cut =
+  prop "witness evaluates to the reported value" ~count:60
+    (Testutil.gen_connected_graph ~max_n:12 ())
+    (fun g ->
+      let est = Estimate.run ~force_heuristic:true ~rng:(rng ()) g Cut.Edge in
+      abs_float (Cut.value_of g Cut.Edge est.Estimate.witness -. est.Estimate.value) < 1e-9)
+
+let prop_analytic_formulas_guard =
+  prop "analytic guards reject bad input" (QCheck2.Gen.int_range (-3) 1) (fun n ->
+      (try
+         ignore (Analytic.complete_node_exact n);
+         false
+       with Invalid_argument _ -> true)
+      && (try
+            ignore (Analytic.cycle_node_exact n);
+            false
+          with Invalid_argument _ -> true))
+
+let () =
+  Alcotest.run "expansion"
+    [
+      ( "exact",
+        [
+          case "complete" test_exact_complete;
+          case "cycle" test_exact_cycle;
+          case "path" test_exact_path;
+          case "star" test_exact_star;
+          case "barbell" test_exact_barbell;
+          case "mesh edge" test_exact_mesh_edge;
+          case "hypercube edge" test_exact_hypercube_edge;
+          case "disconnected" test_exact_disconnected;
+          case "limits" test_exact_limits;
+        ] );
+      ( "heuristics",
+        [
+          case "cut make/better" test_cut_make_and_better;
+          case "sweep mesh cut" test_sweep_finds_mesh_cut;
+          case "sweep arity" test_sweep_arity_checks;
+          case "local search monotone" test_local_search_never_worse;
+          case "estimate exact small" test_estimate_exact_small;
+          case "estimate disconnected" test_estimate_disconnected;
+          case "estimate mesh 8x8" test_estimate_heuristic_on_larger;
+          case "estimate alive mask" test_estimate_alive_mask;
+          case "estimate needs 2 nodes" test_estimate_requires_two;
+          case "edge profile path" test_edge_profile_path;
+          case "edge profile hypercube" test_edge_profile_hypercube;
+        ] );
+      ( "properties",
+        [
+          prop_heuristic_upper_bounds_exact;
+          prop_witness_is_valid_cut;
+          prop_analytic_formulas_guard;
+          prop_spectral_lower_sound;
+        ]
+      );
+    ]

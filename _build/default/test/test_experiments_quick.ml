@@ -1,0 +1,55 @@
+(* End-to-end: the fast paper-validation experiments must pass their
+   own checks in quick mode.  The slow ones (E1, E4, E6, E8, E9) run
+   from bin/experiments; here we pin the cheap ones into the test
+   suite so a regression in any layer breaks `dune runtest`. *)
+
+open Testutil
+
+let run_and_check id =
+  match Fn_experiments.Registry.find id with
+  | None -> Alcotest.failf "experiment %s not registered" id
+  | Some e ->
+    let outcome = e.Fn_experiments.Registry.run ~quick:true ~seed:4242 () in
+    List.iter
+      (fun (name, ok) ->
+        if not ok then Alcotest.failf "%s check failed: %s" id name)
+      outcome.Fn_experiments.Outcome.checks
+
+let test_registry_complete () =
+  check_int "fourteen experiments" 14 (List.length Fn_experiments.Registry.all);
+  List.iteri
+    (fun i e ->
+      let expected = Printf.sprintf "E%d" (i + 1) in
+      if e.Fn_experiments.Registry.id <> expected then
+        Alcotest.failf "expected %s at position %d" expected i)
+    Fn_experiments.Registry.all;
+  check_bool "case-insensitive lookup" true
+    (match Fn_experiments.Registry.find "e7" with Some _ -> true | None -> false);
+  check_bool "unknown" true (Fn_experiments.Registry.find "E15" = None)
+
+let test_outcome_render () =
+  match Fn_experiments.Registry.find "E2" with
+  | None -> Alcotest.fail "E2 missing"
+  | Some e ->
+    let o = e.Fn_experiments.Registry.run ~quick:true ~seed:1 () in
+    let s = Fn_experiments.Outcome.render o in
+    check_bool "mentions id" true (String.length s > 10 && String.sub s 4 2 = "E2")
+
+let () =
+  Alcotest.run "experiments_quick"
+    [
+      ( "registry",
+        [ case "complete" test_registry_complete; case "render" test_outcome_render ] );
+      ( "outcomes",
+        [
+          case "E2 chain expansion" (fun () -> run_and_check "E2");
+          case "E3 chain attack" (fun () -> run_and_check "E3");
+          case "E5 random chain" (fun () -> run_and_check "E5");
+          case "E7 mesh span" (fun () -> run_and_check "E7");
+          case "E10 span conjecture" (fun () -> run_and_check "E10");
+          case "E11 routing" (fun () -> run_and_check "E11");
+          case "E12 embedding" (fun () -> run_and_check "E12");
+          case "E13 multibutterfly" (fun () -> run_and_check "E13");
+          case "E14 transient churn" (fun () -> run_and_check "E14");
+        ] );
+    ]

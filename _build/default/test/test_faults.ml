@@ -1,0 +1,196 @@
+open Fn_graph
+open Fn_faults
+open Testutil
+
+let rng () = Fn_prng.Rng.create 555
+let mesh8, _ = Fn_topology.Mesh.cube ~d:2 ~side:8
+
+let test_fault_set_basics () =
+  let fs = Fault_set.of_faulty_list 10 [ 1; 3; 5 ] in
+  check_int "count" 3 (Fault_set.count fs);
+  check_int "alive" 7 (Fault_set.alive_count fs);
+  check_bool "faulty member" true (Bitset.mem fs.Fault_set.faulty 3);
+  check_bool "alive member" true (Bitset.mem fs.Fault_set.alive 0);
+  check_bool "partition" true (Bitset.disjoint fs.Fault_set.faulty fs.Fault_set.alive)
+
+let test_fault_set_none_union () =
+  let none = Fault_set.none 10 in
+  check_int "none" 0 (Fault_set.count none);
+  let a = Fault_set.of_faulty_list 10 [ 1; 2 ] in
+  let b = Fault_set.of_faulty_list 10 [ 2; 3 ] in
+  let u = Fault_set.union a b in
+  check_int "union count" 3 (Fault_set.count u)
+
+let test_restrict_alive () =
+  let fs = Fault_set.of_faulty_list 10 [ 0; 1 ] in
+  let r = Fault_set.restrict_alive fs (Bitset.of_list 10 [ 0; 5 ]) in
+  check_bool "restricted" true (Bitset.to_list r = [ 5 ])
+
+let test_nodes_iid_extremes () =
+  let r = rng () in
+  let all = Random_faults.nodes_iid r mesh8 1.0 in
+  check_int "p=1 all faulty" 64 (Fault_set.count all);
+  let none = Random_faults.nodes_iid r mesh8 0.0 in
+  check_int "p=0 none" 0 (Fault_set.count none);
+  Alcotest.check_raises "bad p" (Invalid_argument "Random_faults.nodes_iid: p out of [0,1]")
+    (fun () -> ignore (Random_faults.nodes_iid r mesh8 1.5))
+
+let test_nodes_iid_rate () =
+  let r = rng () in
+  let total = ref 0 in
+  for _ = 1 to 50 do
+    total := !total + Fault_set.count (Random_faults.nodes_iid r mesh8 0.25)
+  done;
+  let mean = float_of_int !total /. 50.0 in
+  check_float_eps 2.0 "empirical rate" 16.0 mean
+
+let test_nodes_exact () =
+  let r = rng () in
+  let fs = Random_faults.nodes_exact r mesh8 10 in
+  check_int "exact count" 10 (Fault_set.count fs)
+
+let test_edges_keep () =
+  let r = rng () in
+  let same = Random_faults.edges_keep r mesh8 1.0 in
+  check_bool "p=1 identical" true (Graph.equal mesh8 same);
+  let none = Random_faults.edges_keep r mesh8 0.0 in
+  check_int "p=0 empty" 0 (Graph.num_edges none);
+  check_int "nodes preserved" 64 (Graph.num_nodes none);
+  let dual = Random_faults.edges_iid r mesh8 0.0 in
+  check_bool "edges_iid p=0 keeps all" true (Graph.equal mesh8 dual)
+
+(* ---- adversaries ---- *)
+
+let test_adversary_random_budget () =
+  let fs = Adversary.random (rng ()) mesh8 ~budget:12 in
+  check_int "spends budget" 12 (Fault_set.count fs);
+  Alcotest.check_raises "overdraft" (Invalid_argument "Adversary.random: bad budget")
+    (fun () -> ignore (Adversary.random (rng ()) mesh8 ~budget:65))
+
+let test_adversary_degree () =
+  let star = Fn_topology.Basic.star 10 in
+  let fs = Adversary.degree_targeted star ~budget:1 in
+  check_bool "kills the hub" true (Bitset.mem fs.Fault_set.faulty 0);
+  let comps = Components.compute ~alive:fs.Fault_set.alive star in
+  check_int "isolates all leaves" 9 comps.Components.count
+
+let test_adversary_targets () =
+  let fs = Adversary.targets mesh8 ~targets:[| 5; 6; 7 |] ~budget:2 in
+  check_int "prefix only" 2 (Fault_set.count fs);
+  check_bool "in order" true
+    (Bitset.mem fs.Fault_set.faulty 5 && Bitset.mem fs.Fault_set.faulty 6);
+  let fs = Adversary.targets mesh8 ~targets:[| 5 |] ~budget:10 in
+  check_int "budget beyond targets" 1 (Fault_set.count fs)
+
+let test_ball_isolation_disconnects () =
+  (* enough budget to cut out a ball in the mesh *)
+  let fs = Adversary.ball_isolation (rng ()) mesh8 ~budget:20 in
+  check_bool "spent something" true (Fault_set.count fs > 0);
+  let comps = Components.compute ~alive:fs.Fault_set.alive mesh8 in
+  check_bool "disconnected the mesh" true (comps.Components.count >= 2)
+
+let test_ball_isolation_zero_budget () =
+  let fs = Adversary.ball_isolation (rng ()) mesh8 ~budget:0 in
+  check_int "nothing possible" 0 (Fault_set.count fs)
+
+let test_recursive_cut_fragments () =
+  let epsilon = 0.125 in
+  let res = Adversary.recursive_cut ~rng:(rng ()) mesh8 ~epsilon in
+  let n = Graph.num_nodes mesh8 in
+  List.iter
+    (fun frag ->
+      if float_of_int frag >= epsilon *. float_of_int n then
+        Alcotest.failf "fragment %d above threshold" frag)
+    res.Adversary.final_fragments;
+  check_bool "steps recorded" true (List.length res.Adversary.steps > 0);
+  (* accounting: faults = sum of removed in steps *)
+  let removed = List.fold_left (fun acc s -> acc + s.Adversary.removed) 0 res.Adversary.steps in
+  check_int "fault accounting" removed (Fault_set.count res.Adversary.faults)
+
+let test_recursive_cut_budget_respected () =
+  let res = Adversary.recursive_cut ~rng:(rng ()) ~max_budget:5 mesh8 ~epsilon:0.125 in
+  check_bool "budget respected" true (Fault_set.count res.Adversary.faults <= 5)
+
+let test_churn_stationary () =
+  check_float_eps 1e-9 "formula" 0.25
+    (Churn.stationary_dead_fraction ~rate_fail:1.0 ~rate_repair:3.0);
+  Alcotest.check_raises "bad rates"
+    (Invalid_argument "Churn.stationary_dead_fraction: need rate_fail >= 0, rate_repair > 0")
+    (fun () -> ignore (Churn.stationary_dead_fraction ~rate_fail:1.0 ~rate_repair:0.0))
+
+let test_churn_occupancy () =
+  (* long-run dead fraction matches the stationary value *)
+  let g, _ = Fn_topology.Mesh.cube ~d:2 ~side:8 in
+  let snaps =
+    Churn.simulate (rng ()) g ~rate_fail:0.2 ~rate_repair:0.8 ~horizon:200.0 ~snapshots:50
+  in
+  (* skip the burn-in: use the second half of the trajectory *)
+  let late = List.filteri (fun i _ -> i >= 25) snaps in
+  let mean_dead =
+    List.fold_left (fun acc s -> acc +. float_of_int (Fault_set.count s.Churn.faults)) 0.0 late
+    /. float_of_int (List.length late) /. 64.0
+  in
+  check_float_eps 0.06 "stationary occupancy" 0.2 mean_dead
+
+let test_churn_snapshot_times () =
+  let g = Fn_topology.Basic.path 4 in
+  let snaps = Churn.simulate (rng ()) g ~rate_fail:1.0 ~rate_repair:1.0 ~horizon:10.0 ~snapshots:5 in
+  check_int "count" 5 (List.length snaps);
+  List.iteri
+    (fun i s -> check_float_eps 1e-9 "evenly spaced" (2.0 *. float_of_int (i + 1)) s.Churn.time)
+    snaps
+
+let test_churn_starts_alive () =
+  (* with a tiny horizon almost nothing has failed yet *)
+  let g, _ = Fn_topology.Mesh.cube ~d:2 ~side:8 in
+  let snaps =
+    Churn.simulate (rng ()) g ~rate_fail:0.001 ~rate_repair:10.0 ~horizon:0.01 ~snapshots:1
+  in
+  match snaps with
+  | [ s ] -> check_bool "nearly all alive" true (Fault_set.count s.Churn.faults <= 1)
+  | _ -> Alcotest.fail "expected one snapshot"
+
+let test_churn_validation () =
+  let g = Fn_topology.Basic.path 4 in
+  Alcotest.check_raises "rates" (Invalid_argument "Churn.simulate: rates must be positive")
+    (fun () -> ignore (Churn.simulate (rng ()) g ~rate_fail:0.0 ~rate_repair:1.0 ~horizon:1.0 ~snapshots:1));
+  Alcotest.check_raises "horizon" (Invalid_argument "Churn.simulate: horizon must be positive")
+    (fun () -> ignore (Churn.simulate (rng ()) g ~rate_fail:1.0 ~rate_repair:1.0 ~horizon:0.0 ~snapshots:1));
+  Alcotest.check_raises "snapshots" (Invalid_argument "Churn.simulate: need at least one snapshot")
+    (fun () -> ignore (Churn.simulate (rng ()) g ~rate_fail:1.0 ~rate_repair:1.0 ~horizon:1.0 ~snapshots:0))
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "fault_set",
+        [
+          case "basics" test_fault_set_basics;
+          case "none/union" test_fault_set_none_union;
+          case "restrict" test_restrict_alive;
+        ] );
+      ( "random",
+        [
+          case "iid extremes" test_nodes_iid_extremes;
+          case "iid rate" test_nodes_iid_rate;
+          case "exact count" test_nodes_exact;
+          case "edge faults" test_edges_keep;
+        ] );
+      ( "adversary",
+        [
+          case "random budget" test_adversary_random_budget;
+          case "degree targeted" test_adversary_degree;
+          case "targets" test_adversary_targets;
+          case "ball isolation" test_ball_isolation_disconnects;
+          case "ball zero budget" test_ball_isolation_zero_budget;
+          case "recursive cut" test_recursive_cut_fragments;
+          case "recursive budget" test_recursive_cut_budget_respected;
+        ] );
+      ( "churn",
+        [
+          case "stationary formula" test_churn_stationary;
+          case "occupancy" test_churn_occupancy;
+          case "snapshot times" test_churn_snapshot_times;
+          case "starts alive" test_churn_starts_alive;
+          case "validation" test_churn_validation;
+        ] );
+    ]

@@ -1,0 +1,58 @@
+open Fn_parallel
+open Testutil
+
+let test_map_matches_sequential () =
+  let input = Array.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  let expected = Array.map f input in
+  List.iter
+    (fun domains ->
+      let got = Par.map ~domains f input in
+      check_bool (Printf.sprintf "domains=%d" domains) true (got = expected))
+    [ 1; 2; 4; 7 ]
+
+let test_map_preserves_order () =
+  let got = Par.map ~domains:4 string_of_int (Array.init 37 Fun.id) in
+  Array.iteri (fun i s -> if s <> string_of_int i then Alcotest.fail "order broken") got
+
+let test_map_empty_and_singleton () =
+  check_bool "empty" true (Par.map ~domains:4 succ [||] = [||]);
+  check_bool "singleton" true (Par.map ~domains:4 succ [| 41 |] = [| 42 |])
+
+let test_init () =
+  check_bool "init" true (Par.init ~domains:3 10 (fun i -> i * 2) = Array.init 10 (fun i -> i * 2))
+
+let test_trials_deterministic_across_domains () =
+  let job rng = Fn_prng.Rng.int rng 1_000_000 in
+  let run domains =
+    let rng = Fn_prng.Rng.create 2024 in
+    Par.trials ~domains ~rng 16 job
+  in
+  let seq = run 1 in
+  let par = run 6 in
+  check_bool "parallel = sequential" true (seq = par)
+
+let test_trials_distinct_generators () =
+  let rng = Fn_prng.Rng.create 1 in
+  let outs = Par.trials ~domains:2 ~rng 8 (fun r -> Fn_prng.Rng.bits64 r) in
+  let distinct = Array.to_list outs |> List.sort_uniq compare |> List.length in
+  check_int "independent streams" 8 distinct
+
+let test_default_domains_reasonable () =
+  let d = Par.default_domains () in
+  check_bool "within [1,8]" true (d >= 1 && d <= 8)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "par",
+        [
+          case "map matches sequential" test_map_matches_sequential;
+          case "order preserved" test_map_preserves_order;
+          case "empty/singleton" test_map_empty_and_singleton;
+          case "init" test_init;
+          case "trials deterministic" test_trials_deterministic_across_domains;
+          case "trials independent" test_trials_distinct_generators;
+          case "default domains" test_default_domains_reasonable;
+        ] );
+    ]

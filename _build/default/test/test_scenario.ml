@@ -1,0 +1,83 @@
+open Fn_graph
+open Faultnet
+open Testutil
+
+let rng () = Fn_prng.Rng.create 11235
+
+let test_no_faults_is_clean () =
+  let g, _ = Fn_topology.Torus.cube ~d:2 ~side:8 in
+  let faults = Fn_faults.Fault_set.none 64 in
+  let r = Scenario.analyze ~rng:(rng ()) g ~faults in
+  check_int "nodes" 64 r.Scenario.nodes;
+  check_int "faults" 0 r.Scenario.faults;
+  check_float "gamma 1" 1.0 r.Scenario.gamma;
+  check_int "all kept" 64 r.Scenario.kept;
+  check_bool "certified" true r.Scenario.certificates_ok;
+  check_float "fully routable" 1.0 r.Scenario.routable;
+  check_float_eps 1e-9 "stretch 1" 1.0 r.Scenario.stretch;
+  check_int "identity slowdown" 3 r.Scenario.slowdown
+
+let test_moderate_faults () =
+  let g, _ = Fn_topology.Torus.cube ~d:2 ~side:8 in
+  let faults = Fn_faults.Random_faults.nodes_iid (rng ()) g 0.08 in
+  let r = Scenario.analyze ~rng:(rng ()) g ~faults in
+  check_bool "gamma high" true (r.Scenario.gamma > 0.7);
+  check_bool "kept at least half" true (2 * r.Scenario.kept >= 64);
+  check_bool "certified" true r.Scenario.certificates_ok;
+  check_bool "expansion ratio sane" true
+    (r.Scenario.expansion_ratio > 0.0 && r.Scenario.expansion_ratio < 3.0);
+  check_bool "routable mostly" true (r.Scenario.routable > 0.8)
+
+let test_catastrophic_faults () =
+  (* chain graph with all centers dead: report reflects the collapse *)
+  let base = Fn_topology.Basic.complete 6 in
+  let cg = Fn_topology.Chain_graph.build base ~k:4 in
+  let h = cg.Fn_topology.Chain_graph.graph in
+  let centers = Fn_topology.Chain_graph.chain_centers cg in
+  let faults = Fn_faults.Fault_set.of_faulty_array (Graph.num_nodes h) centers in
+  let r = Scenario.analyze ~rng:(rng ()) h ~faults in
+  check_bool "gamma collapsed" true (r.Scenario.gamma < 0.3);
+  check_bool "routability collapsed" true (r.Scenario.routable < 0.5)
+
+let test_requires_alive () =
+  let g = Fn_topology.Basic.path 3 in
+  let faults = Fn_faults.Fault_set.of_faulty_list 3 [ 0; 1 ] in
+  Alcotest.check_raises "too few alive"
+    (Invalid_argument "Scenario.analyze: need >= 2 alive nodes") (fun () ->
+      ignore (Scenario.analyze g ~faults))
+
+let test_to_string_mentions_fields () =
+  let g, _ = Fn_topology.Torus.cube ~d:2 ~side:6 in
+  let faults = Fn_faults.Random_faults.nodes_iid (rng ()) g 0.05 in
+  let r = Scenario.analyze ~rng:(rng ()) g ~faults in
+  let s = Scenario.to_string r in
+  List.iter
+    (fun needle ->
+      let found =
+        let nl = String.length needle and sl = String.length s in
+        let rec scan i = i + nl <= sl && (String.sub s i nl = needle || scan (i + 1)) in
+        scan 0
+      in
+      if not found then Alcotest.failf "report missing %S" needle)
+    [ "network:"; "connectivity:"; "expansion:"; "certificates:"; "emulation:"; "routing:" ]
+
+let test_determinism () =
+  let g, _ = Fn_topology.Torus.cube ~d:2 ~side:6 in
+  let faults = Fn_faults.Random_faults.nodes_iid (Fn_prng.Rng.create 9) g 0.1 in
+  let r1 = Scenario.analyze ~rng:(Fn_prng.Rng.create 1) g ~faults in
+  let r2 = Scenario.analyze ~rng:(Fn_prng.Rng.create 1) g ~faults in
+  check_bool "identical reports" true (r1 = r2)
+
+let () =
+  Alcotest.run "scenario"
+    [
+      ( "analyze",
+        [
+          case "no faults" test_no_faults_is_clean;
+          case "moderate faults" test_moderate_faults;
+          case "catastrophic faults" test_catastrophic_faults;
+          case "requires alive" test_requires_alive;
+          case "report text" test_to_string_mentions_fields;
+          case "determinism" test_determinism;
+        ] );
+    ]

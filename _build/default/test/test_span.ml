@@ -1,0 +1,119 @@
+open Fn_graph
+open Faultnet
+open Testutil
+
+let test_witness_path_prefix () =
+  (* prefix of a path: boundary is one node, tree is that node, ratio 1 *)
+  let g = Fn_topology.Basic.path 6 in
+  match Span.of_compact_set g (Bitset.of_list 6 [ 0; 1 ]) with
+  | None -> Alcotest.fail "expected a witness"
+  | Some w ->
+    check_int "boundary" 1 (Bitset.cardinal w.Span.boundary);
+    check_float "ratio" 1.0 w.Span.ratio;
+    check_bool "exact tree" true w.Span.tree_exact
+
+let test_witness_cycle_arc () =
+  (* single node of C4: boundary = 2 opposite-adjacent nodes, smallest
+     connecting tree = 3 nodes -> ratio 1.5 *)
+  let g = Fn_topology.Basic.cycle 4 in
+  match Span.of_compact_set g (Bitset.of_list 4 [ 0 ]) with
+  | None -> Alcotest.fail "expected witness"
+  | Some w ->
+    check_int "boundary 2" 2 (Bitset.cardinal w.Span.boundary);
+    check_float "ratio" 1.5 w.Span.ratio
+
+let test_witness_disconnected_none () =
+  let g = Graph.of_edges 4 [ (0, 1); (2, 3) ] in
+  check_bool "no boundary -> none" true
+    (Span.of_compact_set g (Bitset.of_list 4 [ 0; 1 ]) = None)
+
+let test_exact_span_cycle4 () =
+  let est = Span.exact (Fn_topology.Basic.cycle 4) in
+  check_float "span of C4" 1.5 est.Span.span;
+  check_bool "all trees exact" true est.Span.all_exact;
+  check_int "12 compact sets" 12 est.Span.sets_examined
+
+let test_exact_span_complete () =
+  (* K_n: boundary of any compact U is all of V\U... for |U| <= n-1 the
+     boundary is the full complement, which is connected in K_n, so the
+     tree is the boundary itself: span 1 *)
+  let est = Span.exact (Fn_topology.Basic.complete 5) in
+  check_float "span of K5" 1.0 est.Span.span
+
+let test_exact_span_meshes_at_most_2 () =
+  List.iter
+    (fun dims ->
+      let g, _ = Fn_topology.Mesh.graph dims in
+      let est = Span.exact g in
+      if est.Span.span > 2.0 +. 1e-9 then
+        Alcotest.failf "mesh span %.3f > 2" est.Span.span)
+    [ [| 3; 3 |]; [| 4; 4 |]; [| 2; 2; 2 |]; [| 2; 3; 2 |] ]
+
+let test_exact_span_path_is_one () =
+  (* all compact sets of a path have 1-node boundaries... except
+     interior prefixes have boundary 1; span = 1 *)
+  let est = Span.exact (Fn_topology.Basic.path 7) in
+  check_float "span of P7" 1.0 est.Span.span
+
+let test_sample_below_exact () =
+  let rng = Fn_prng.Rng.create 13 in
+  let g, _ = Fn_topology.Mesh.cube ~d:2 ~side:4 in
+  let ex = Span.exact g in
+  let sm = Span.sample rng ~samples:100 g in
+  check_bool "sample is a lower estimate" true (sm.Span.span <= ex.Span.span +. 1e-9);
+  check_bool "sample found something" true (sm.Span.sets_examined > 0)
+
+let test_best_witness_consistency () =
+  let est = Span.exact (Fn_topology.Basic.cycle 6) in
+  match est.Span.best with
+  | None -> Alcotest.fail "expected a best witness"
+  | Some w ->
+    check_float "best ratio = span" est.Span.span w.Span.ratio;
+    (* the tree contains the whole boundary *)
+    check_bool "tree covers boundary" true (Bitset.subset w.Span.boundary w.Span.tree.Steiner.nodes)
+
+let prop_span_witness_ratio_sound =
+  prop "witness ratio = |tree|/|boundary| and tree covers boundary" ~count:50
+    (Testutil.gen_connected_graph ~max_n:9 ())
+    (fun g ->
+      let sets = Compact.enumerate g in
+      List.for_all
+        (fun u ->
+          match Span.of_compact_set g u with
+          | None -> true
+          | Some w ->
+            let b = Bitset.cardinal w.Span.boundary in
+            Bitset.subset w.Span.boundary w.Span.tree.Steiner.nodes
+            && abs_float
+                 (w.Span.ratio
+                 -. (float_of_int (Steiner.node_count w.Span.tree) /. float_of_int b))
+               < 1e-9)
+        sets)
+
+let prop_span_at_least_one =
+  prop "span >= 1 for connected graphs" ~count:50
+    (Testutil.gen_connected_graph ~max_n:9 ())
+    (fun g ->
+      let est = Span.exact g in
+      est.Span.sets_examined = 0 || est.Span.span >= 1.0 -. 1e-9)
+
+let () =
+  Alcotest.run "span"
+    [
+      ( "witnesses",
+        [
+          case "path prefix" test_witness_path_prefix;
+          case "cycle arc" test_witness_cycle_arc;
+          case "disconnected" test_witness_disconnected_none;
+        ] );
+      ( "exact",
+        [
+          case "C4" test_exact_span_cycle4;
+          case "K5" test_exact_span_complete;
+          case "meshes <= 2" test_exact_span_meshes_at_most_2;
+          case "P7" test_exact_span_path_is_one;
+          case "best witness" test_best_witness_consistency;
+        ] );
+      ("sampling", [ case "below exact" test_sample_below_exact ]);
+      ("properties", [ prop_span_witness_ratio_sound; prop_span_at_least_one ]);
+    ]

@@ -1,0 +1,56 @@
+open Fn_graph
+open Testutil
+
+let mesh4, _ = Fn_topology.Mesh.cube ~d:2 ~side:4
+let path5 = Fn_topology.Basic.path 5
+
+let test_bfs_tree_spans () =
+  let t = Spanning_tree.bfs_tree mesh4 0 in
+  check_int "covers all" 16 (Array.length t.Spanning_tree.nodes);
+  check_int "edges" 15 (Spanning_tree.num_edges t);
+  check_bool "is spanning" true (Spanning_tree.is_spanning mesh4 (Bitset.create_full 16) t)
+
+let test_bfs_tree_masked () =
+  let alive = Bitset.of_list 5 [ 0; 1; 3; 4 ] in
+  let t = Spanning_tree.bfs_tree ~alive path5 0 in
+  check_int "only component" 2 (Array.length t.Spanning_tree.nodes);
+  check_int "edges" 1 (Spanning_tree.num_edges t)
+
+let test_tree_edges_are_edges () =
+  let t = Spanning_tree.bfs_tree mesh4 5 in
+  List.iter
+    (fun (u, v) -> check_bool "tree edge in graph" true (Graph.has_edge mesh4 u v))
+    (Spanning_tree.tree_edges t)
+
+let test_singleton_tree () =
+  let g = Graph.empty 3 in
+  let t = Spanning_tree.bfs_tree g 1 in
+  check_int "one node" 1 (Array.length t.Spanning_tree.nodes);
+  check_int "no edges" 0 (Spanning_tree.num_edges t)
+
+let test_metric_mst () =
+  (* complete metric on 4 points on a line: 0,1,2,3 with |i-j| dist *)
+  let dist = Array.init 4 (fun i -> Array.init 4 (fun j -> abs (i - j))) in
+  check_int "line mst" 3 (Spanning_tree.total_weighted_length ~dist [| 0; 1; 2; 3 |]);
+  check_int "two terminals" 3 (Spanning_tree.total_weighted_length ~dist [| 0; 3 |]);
+  check_int "single terminal" 0 (Spanning_tree.total_weighted_length ~dist [| 2 |])
+
+let prop_bfs_tree_parent_edges =
+  prop "every parent link is a graph edge" (Testutil.gen_connected_graph ~max_n:12 ())
+    (fun g ->
+      let t = Spanning_tree.bfs_tree g 0 in
+      List.for_all (fun (u, v) -> Graph.has_edge g u v) (Spanning_tree.tree_edges t))
+
+let () =
+  Alcotest.run "spanning_tree"
+    [
+      ( "unit",
+        [
+          case "bfs tree spans" test_bfs_tree_spans;
+          case "masked" test_bfs_tree_masked;
+          case "edges valid" test_tree_edges_are_edges;
+          case "singleton" test_singleton_tree;
+          case "metric mst" test_metric_mst;
+        ] );
+      ("properties", [ prop_bfs_tree_parent_edges ]);
+    ]

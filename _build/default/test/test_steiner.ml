@@ -1,0 +1,98 @@
+open Fn_graph
+open Testutil
+
+let mesh5, _ = Fn_topology.Mesh.cube ~d:2 ~side:5
+let path6 = Fn_topology.Basic.path 6
+
+let test_two_terminals_is_shortest_path () =
+  let r = Steiner.exact path6 [| 0; 5 |] in
+  check_int "path cost" 5 r.Steiner.edge_count;
+  check_int "path nodes" 6 (Steiner.node_count r);
+  check_bool "verify" true (Steiner.verify path6 [| 0; 5 |] r)
+
+let test_single_terminal () =
+  let r = Steiner.exact path6 [| 3 |] in
+  check_int "single terminal cost" 0 r.Steiner.edge_count;
+  check_int "single node" 1 (Steiner.node_count r)
+
+let test_mesh_corners_exact () =
+  let terminals = [| 0; 4; 20; 24 |] in
+  let r = Steiner.exact mesh5 terminals in
+  (* spanning the 4 corners of a 5x5 grid costs exactly 12 edges *)
+  check_int "corners cost" 12 r.Steiner.edge_count;
+  check_bool "verify" true (Steiner.verify mesh5 terminals r)
+
+let test_star_steiner_point () =
+  (* spider: three legs of length 2 from a hub; terminals at the tips.
+     The optimal tree must include the hub (a true Steiner point). *)
+  let g = Graph.of_edges 7 [ (0, 1); (1, 2); (0, 3); (3, 4); (0, 5); (5, 6) ] in
+  let r = Steiner.exact g [| 2; 4; 6 |] in
+  check_int "spider cost" 6 r.Steiner.edge_count;
+  check_bool "hub included" true (Bitset.mem r.Steiner.nodes 0)
+
+let test_approx_verifies () =
+  let terminals = [| 0; 4; 20; 24; 12 |] in
+  let r = Steiner.approx mesh5 terminals in
+  check_bool "verify" true (Steiner.verify mesh5 terminals r)
+
+let test_alive_mask () =
+  (* cycle of 6 with the direct arc broken: tree must go the long way *)
+  let cycle6 = Fn_topology.Basic.cycle 6 in
+  let alive = Bitset.of_list 6 [ 0; 1; 2; 3; 4 ] in
+  let r = Steiner.exact ~alive cycle6 [| 0; 4 |] in
+  check_int "forced long way" 4 r.Steiner.edge_count;
+  check_bool "verify with mask" true (Steiner.verify ~alive cycle6 [| 0; 4 |] r);
+  Alcotest.check_raises "dead terminal" (Invalid_argument "Steiner: terminal not alive")
+    (fun () -> ignore (Steiner.exact ~alive cycle6 [| 5 |]))
+
+let test_disconnected_terminals () =
+  let g = Graph.of_edges 4 [ (0, 1); (2, 3) ] in
+  Alcotest.check_raises "exact" (Invalid_argument "Steiner.exact: terminals not connected")
+    (fun () -> ignore (Steiner.exact g [| 0; 3 |]));
+  Alcotest.check_raises "approx" (Invalid_argument "Steiner.approx: terminals not connected")
+    (fun () -> ignore (Steiner.approx g [| 0; 3 |]))
+
+let test_too_many_terminals () =
+  Alcotest.check_raises "limit"
+    (Invalid_argument "Steiner.exact: too many terminals (max 12)") (fun () ->
+      ignore (Steiner.exact mesh5 (Array.init 13 Fun.id)))
+
+let gen_graph_with_terminals =
+  QCheck2.Gen.(
+    Testutil.gen_connected_graph ~max_n:10 () >>= fun g ->
+    let n = Graph.num_nodes g in
+    int_range 1 (min 5 n) >>= fun t ->
+    (* distinct terminals via a shuffled prefix *)
+    shuffle_a (Array.init n Fun.id) >>= fun perm ->
+    return (g, Array.sub perm 0 t))
+
+let prop_exact_le_approx_le_2exact =
+  prop "exact <= approx <= 2 * exact" ~count:150 gen_graph_with_terminals
+    (fun (g, terminals) ->
+      let e = Steiner.exact g terminals in
+      let a = Steiner.approx g terminals in
+      e.Steiner.edge_count <= a.Steiner.edge_count
+      && a.Steiner.edge_count <= max 1 (2 * e.Steiner.edge_count))
+
+let prop_both_verify =
+  prop "exact and approx trees verify" ~count:150 gen_graph_with_terminals
+    (fun (g, terminals) ->
+      Steiner.verify g terminals (Steiner.exact g terminals)
+      && Steiner.verify g terminals (Steiner.approx g terminals))
+
+let () =
+  Alcotest.run "steiner"
+    [
+      ( "unit",
+        [
+          case "two terminals" test_two_terminals_is_shortest_path;
+          case "single terminal" test_single_terminal;
+          case "mesh corners" test_mesh_corners_exact;
+          case "steiner point" test_star_steiner_point;
+          case "approx verifies" test_approx_verifies;
+          case "alive mask" test_alive_mask;
+          case "disconnected" test_disconnected_terminals;
+          case "terminal limit" test_too_many_terminals;
+        ] );
+      ("properties", [ prop_exact_le_approx_le_2exact; prop_both_verify ]);
+    ]

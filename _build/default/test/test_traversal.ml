@@ -1,0 +1,140 @@
+open Fn_graph
+open Testutil
+
+let path5 = Fn_topology.Basic.path 5
+let cycle6 = Fn_topology.Basic.cycle 6
+let mesh4, _ = Fn_topology.Mesh.cube ~d:2 ~side:4
+
+let test_bfs_path () =
+  let d = Bfs.distances path5 0 in
+  check_bool "path distances" true (d = [| 0; 1; 2; 3; 4 |]);
+  let d = Bfs.distances path5 2 in
+  check_bool "from middle" true (d = [| 2; 1; 0; 1; 2 |])
+
+let test_bfs_cycle () =
+  let d = Bfs.distances cycle6 0 in
+  check_bool "cycle distances" true (d = [| 0; 1; 2; 3; 2; 1 |])
+
+let test_bfs_masked () =
+  (* killing node 2 of the path cuts 3,4 off *)
+  let alive = Bitset.of_list 5 [ 0; 1; 3; 4 ] in
+  let d = Bfs.distances ~alive path5 0 in
+  check_bool "masked distances" true (d = [| 0; 1; -1; -1; -1 |])
+
+let test_bfs_source_checks () =
+  Alcotest.check_raises "bad source" (Invalid_argument "Bfs: source out of range") (fun () ->
+      ignore (Bfs.distances path5 9));
+  let alive = Bitset.of_list 5 [ 1 ] in
+  Alcotest.check_raises "dead source" (Invalid_argument "Bfs: source not alive") (fun () ->
+      ignore (Bfs.distances ~alive path5 0))
+
+let test_multi_source () =
+  let d = Bfs.multi_source_distances path5 [| 0; 4 |] in
+  check_bool "two sources" true (d = [| 0; 1; 2; 1; 0 |])
+
+let test_reachable () =
+  let alive = Bitset.of_list 5 [ 0; 1; 3; 4 ] in
+  let r = Bfs.reachable ~alive path5 3 in
+  check_bool "reachable half" true (Bitset.to_list r = [ 3; 4 ])
+
+let test_tree_and_path_to () =
+  let parents = Bfs.tree mesh4 0 in
+  check_int "root parent" 0 parents.(0);
+  let p = Bfs.path_to ~parents 15 in
+  check_int "path length = dist + 1" 7 (List.length p);
+  check_bool "starts at root" true (List.hd p = 0);
+  (* consecutive hops are edges *)
+  let rec edges_ok = function
+    | a :: (b :: _ as rest) -> Graph.has_edge mesh4 a b && edges_ok rest
+    | _ -> true
+  in
+  check_bool "path follows edges" true (edges_ok p);
+  Alcotest.check_raises "unreachable" Not_found (fun () ->
+      let alive = Bitset.of_list 5 [ 0; 1; 3; 4 ] in
+      ignore (Bfs.path_to ~parents:(Bfs.tree ~alive path5 0) 4))
+
+let test_ball () =
+  let b = Bfs.ball mesh4 5 1 in
+  check_int "radius-1 ball in mesh" 5 (Bitset.cardinal b);
+  let b0 = Bfs.ball mesh4 5 0 in
+  check_bool "radius 0" true (Bitset.to_list b0 = [ 5 ]);
+  let ball_all = Bfs.ball mesh4 5 10 in
+  check_int "big radius covers all" 16 (Bitset.cardinal ball_all)
+
+let test_ball_of_size () =
+  let b = Bfs.ball_of_size mesh4 0 7 in
+  check_int "exact size when available" 7 (Bitset.cardinal b);
+  check_bool "connected" true (Dfs.is_connected_subset mesh4 b);
+  let alive = Bitset.of_list 5 [ 0; 1 ] in
+  let b = Bfs.ball_of_size ~alive path5 0 10 in
+  check_int "bounded by component" 2 (Bitset.cardinal b)
+
+let test_eccentricity () =
+  check_int "path end" 4 (Bfs.eccentricity path5 0);
+  check_int "path middle" 2 (Bfs.eccentricity path5 2);
+  check_int "cycle" 3 (Bfs.eccentricity cycle6 1)
+
+let test_dfs_preorder () =
+  let order = Dfs.preorder path5 0 in
+  check_bool "path preorder" true (order = [| 0; 1; 2; 3; 4 |]);
+  let order = Dfs.preorder mesh4 0 in
+  check_int "covers component" 16 (Array.length order);
+  check_int "starts at source" 0 order.(0)
+
+let test_dfs_connected_subset () =
+  check_bool "empty is connected" true (Dfs.is_connected_subset path5 (Bitset.create 5));
+  check_bool "segment connected" true
+    (Dfs.is_connected_subset path5 (Bitset.of_list 5 [ 1; 2; 3 ]));
+  check_bool "gap disconnected" false
+    (Dfs.is_connected_subset path5 (Bitset.of_list 5 [ 0; 2 ]))
+
+let test_dfs_forest () =
+  let alive = Bitset.of_list 5 [ 0; 1; 3; 4 ] in
+  let f = Dfs.forest ~alive path5 in
+  check_int "dead node" (-1) f.(2);
+  check_int "root 0" 0 f.(0);
+  check_int "root 3" 3 f.(3);
+  check_int "child of 3" 3 f.(4)
+
+let prop_bfs_distances_triangle_inequality =
+  prop "BFS distance drops by exactly 1 along tree edges" ~count:100
+    (Testutil.gen_connected_graph ~max_n:12 ())
+    (fun g ->
+      let d = Bfs.distances g 0 in
+      let parents = Bfs.tree g 0 in
+      let ok = ref true in
+      for v = 0 to Graph.num_nodes g - 1 do
+        if v <> 0 then begin
+          if d.(v) <> d.(parents.(v)) + 1 then ok := false
+        end
+      done;
+      !ok)
+
+let prop_reachable_equals_dfs =
+  prop "BFS and DFS reachability agree" (Testutil.gen_any_graph ~max_n:12 ()) (fun g ->
+      Bitset.equal (Bfs.reachable g 0) (Dfs.reachable g 0))
+
+let () =
+  Alcotest.run "traversal"
+    [
+      ( "bfs",
+        [
+          case "path distances" test_bfs_path;
+          case "cycle distances" test_bfs_cycle;
+          case "masked" test_bfs_masked;
+          case "source checks" test_bfs_source_checks;
+          case "multi-source" test_multi_source;
+          case "reachable" test_reachable;
+          case "tree and path_to" test_tree_and_path_to;
+          case "ball" test_ball;
+          case "ball_of_size" test_ball_of_size;
+          case "eccentricity" test_eccentricity;
+        ] );
+      ( "dfs",
+        [
+          case "preorder" test_dfs_preorder;
+          case "connected subset" test_dfs_connected_subset;
+          case "forest" test_dfs_forest;
+        ] );
+      ("properties", [ prop_bfs_distances_triangle_inequality; prop_reachable_equals_dfs ]);
+    ]

@@ -1,0 +1,66 @@
+(* Shared helpers and QCheck generators for the faultnet test suite. *)
+
+open Fn_graph
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let check_float name expected actual =
+  Alcotest.(check (float 1e-9)) name expected actual
+
+let check_float_eps eps name expected actual =
+  Alcotest.(check (float eps)) name expected actual
+
+let case name f = Alcotest.test_case name `Quick f
+
+let prop ?(count = 100) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name arb f)
+
+(* ---- graph generators ---- *)
+
+(* A random connected graph: a random spanning tree (random attachment)
+   plus a few extra random edges.  Node count in [2, max_n]. *)
+let gen_connected_graph ?(max_n = 12) () =
+  let open QCheck2.Gen in
+  int_range 2 max_n >>= fun n ->
+  int_range 0 (n * 2) >>= fun extra ->
+  (* attachment choices for the tree: node i >= 1 attaches to [0, i-1] *)
+  let attach_gen = List.init (n - 1) (fun i -> int_range 0 i) in
+  flatten_l attach_gen >>= fun attachments ->
+  list_repeat extra (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))) >>= fun extras ->
+  let edges =
+    List.mapi (fun i a -> (i + 1, a)) attachments
+    @ List.filter (fun (u, v) -> u <> v) extras
+  in
+  return (Graph.of_edges n edges)
+
+let arb_connected_graph ?max_n () =
+  QCheck2.Gen.map (fun g -> g) (gen_connected_graph ?max_n ())
+
+(* A random graph (possibly disconnected): random edge list. *)
+let gen_any_graph ?(max_n = 12) () =
+  let open QCheck2.Gen in
+  int_range 1 max_n >>= fun n ->
+  int_range 0 (2 * n) >>= fun m ->
+  list_repeat m (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))) >>= fun pairs ->
+  return (Graph.of_edges n (List.filter (fun (u, v) -> u <> v) pairs))
+
+(* A graph together with a random non-trivial node subset. *)
+let gen_graph_and_subset ?(max_n = 10) () =
+  let open QCheck2.Gen in
+  gen_connected_graph ~max_n () >>= fun g ->
+  let n = Graph.num_nodes g in
+  int_range 0 ((1 lsl n) - 2) >>= fun mask ->
+  let mask = if mask = 0 then 1 else mask in
+  let set = Bitset.create n in
+  for v = 0 to n - 1 do
+    if (mask lsr v) land 1 = 1 then Bitset.add set v
+  done;
+  return (g, set)
+
+let graph_print g =
+  Format.asprintf "%a: %s" Graph.pp g
+    (String.concat ";"
+       (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) (Array.to_list (Graph.edges g))))
+
+let graph_and_set_print (g, s) = Format.asprintf "%s with %a" (graph_print g) Bitset.pp s
