@@ -230,5 +230,5 @@ let () =
         else Printf.sprintf "%.0f ns" t
       in
       Fn_stats.Table.add_row table [ name; pretty; Printf.sprintf "%.4f" r2 ])
-    (List.sort compare !rows);
+    (List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows);
   Fn_stats.Table.print table

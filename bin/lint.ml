@@ -1,0 +1,96 @@
+(* faultnet-lint driver.
+
+   Usage: lint [--json] [--strict] [--list-rules] [--root DIR] [PATH ...]
+
+   PATHs (default: lib bin test examples bench) are files or directories
+   scanned recursively for .ml/.mli, relative to the repo root.  Exit
+   codes: 0 clean, 1 findings (errors; warnings too under --strict),
+   2 usage or I/O error. *)
+
+let default_paths = [ "lib"; "bin"; "test"; "examples"; "bench" ]
+
+let usage () =
+  prerr_endline
+    "usage: lint [--json] [--strict] [--list-rules] [--root DIR] [PATH ...]\n\
+     \  --json        emit findings as a JSON array\n\
+     \  --strict      exit 1 on warnings too, not just errors\n\
+     \  --list-rules  print the rule set and exit\n\
+     \  --root DIR    chdir to DIR before scanning (paths are repo-relative)";
+  exit 2
+
+let is_source f =
+  Fn_lint.Rules.ends_with ~suffix:".ml" f || Fn_lint.Rules.ends_with ~suffix:".mli" f
+
+(* Skip build/VCS directories wherever the scan starts. *)
+let skip_dir name = name = "" || name.[0] = '_' || name.[0] = '.'
+
+let rec collect path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if skip_dir entry then acc else collect (Filename.concat path entry) acc)
+      acc (Sys.readdir path)
+  else if is_source path then path :: acc
+  else acc
+
+let list_rules () =
+  List.iter
+    (fun (r : Fn_lint.Rule.t) ->
+      Printf.printf "%-18s %-8s %s\n" r.name
+        (Fn_lint.Rule.severity_to_string r.severity)
+        r.doc)
+    Fn_lint.Rules.all;
+  exit 0
+
+let () =
+  let json = ref false and strict = ref false and paths = ref [] in
+  let args = Array.to_list Sys.argv in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--strict" :: rest ->
+        strict := true;
+        parse rest
+    | "--list-rules" :: _ -> list_rules ()
+    | "--root" :: dir :: rest ->
+        (try Sys.chdir dir
+         with Sys_error msg ->
+           prerr_endline ("lint: " ^ msg);
+           exit 2);
+        parse rest
+    | ("--help" | "-h" | "--root") :: _ -> usage ()
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | p :: rest ->
+        paths := p :: !paths;
+        parse rest
+  in
+  parse (List.tl args);
+  let roots = if !paths = [] then default_paths else List.rev !paths in
+  let files =
+    List.concat_map
+      (fun p ->
+        if Sys.file_exists p then collect p []
+        else begin
+          prerr_endline ("lint: no such file or directory: " ^ p);
+          exit 2
+        end)
+      roots
+    |> List.sort_uniq String.compare
+  in
+  let findings =
+    List.concat_map
+      (fun f ->
+        try Fn_lint.Engine.lint_file f
+        with Sys_error msg ->
+          prerr_endline ("lint: " ^ msg);
+          exit 2)
+      files
+  in
+  if !json then print_string (Fn_lint.Reporter.to_json findings)
+  else print_string (Fn_lint.Reporter.to_text findings);
+  let fatal =
+    if !strict then findings else Fn_lint.Engine.errors findings
+  in
+  exit (if fatal = [] then 0 else 1)

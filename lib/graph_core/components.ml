@@ -67,7 +67,7 @@ let size_histogram t =
       Hashtbl.replace tbl s (cur + 1))
     t.sizes;
   Hashtbl.fold (fun size count acc -> (size, count) :: acc) tbl []
-  |> List.sort compare
+  |> List.sort Graph.compare_int_pair
 
 let is_connected ?alive g =
   let c = compute ?alive g in

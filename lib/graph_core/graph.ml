@@ -1,5 +1,10 @@
 type t = { n : int; xadj : int array; adj : int array }
 
+(* Monomorphic lexicographic order on int pairs: keeps edge sorts off
+   the polymorphic-compare C call (see faultnet-lint no-poly-compare). *)
+let compare_int_pair (a1, b1) (a2, b2) =
+  match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+
 let num_nodes t = t.n
 
 let num_edges t = Array.length t.adj / 2
@@ -86,7 +91,7 @@ let of_edge_array n es =
     es;
   (* normalize, sort, dedupe *)
   let norm = Array.map (fun (u, v) -> if u < v then (u, v) else (v, u)) es in
-  Array.sort compare norm;
+  Array.sort compare_int_pair norm;
   let m =
     let count = ref 0 in
     Array.iteri (fun i e -> if i = 0 || norm.(i - 1) <> e then incr count) norm;
@@ -125,7 +130,7 @@ let of_edge_array n es =
   for v = 0 to n - 1 do
     let lo = xadj.(v) and len = deg.(v) in
     let row = Array.sub adj lo len in
-    Array.sort compare row;
+    Array.sort Int.compare row;
     Array.blit row 0 adj lo len
   done;
   { n; xadj; adj }

@@ -9,6 +9,11 @@
 
 type t
 
+val compare_int_pair : int * int -> int * int -> int
+(** Monomorphic lexicographic order on int pairs (edges, (key, value)
+    rows, ...): avoids polymorphic [compare]'s per-element C call in
+    sort hot paths. *)
+
 val num_nodes : t -> int
 val num_edges : t -> int
 (** Undirected edge count (each edge counted once). *)

@@ -76,7 +76,7 @@ let degree_histogram ?alive g =
       in
       Hashtbl.replace tbl d (1 + try Hashtbl.find tbl d with Not_found -> 0))
     nodes;
-  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [] |> List.sort compare
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [] |> List.sort Graph.compare_int_pair
 
 let clustering_coefficient ?alive g =
   let is_alive v = match alive with None -> true | Some m -> Bitset.mem m v in

@@ -8,7 +8,7 @@ let bfs_tree ?alive g root =
   let dist = Bfs.distances ?alive g root in
   let nodes_with_dist = ref [] in
   Array.iteri (fun v d -> if d >= 0 then nodes_with_dist := (d, v) :: !nodes_with_dist) dist;
-  let sorted = List.sort compare !nodes_with_dist in
+  let sorted = List.sort Graph.compare_int_pair !nodes_with_dist in
   List.iter
     (fun (_, v) ->
       order := v :: !order;

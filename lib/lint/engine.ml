@@ -1,0 +1,108 @@
+(* Runs the rule set over sources, applying the allowlist and
+   [(* lint: allow <rule> *)] suppression comments. *)
+
+(* A suppression comment names one or more rules and silences their
+   findings on the comment's own line(s) and on the line immediately
+   after the comment — so both trailing and preceding placement work:
+
+     let x = foo () (* lint: allow some-rule *)
+
+     (* lint: allow some-rule — justification here *)
+     let x = foo ()
+*)
+
+type suppression = { rules : string list; first_line : int; last_line : int }
+
+let split_words s =
+  let out = ref [] and buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> flush ()
+      | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !out
+
+let is_rule_word w =
+  String.length w > 0
+  && String.for_all (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-') w
+
+(* Parse a comment body into a suppression, if it is one.  Accepted
+   form: "lint:" "allow" <rule>... with anything (a justification)
+   after the rule names. *)
+let parse_suppression (t : Token.t) =
+  match split_words t.text with
+  | "(*" :: "lint:" :: "allow" :: rest ->
+      let rec rules acc = function
+        | w :: ws when is_rule_word w -> rules (w :: acc) ws
+        | _ -> List.rev acc
+      in
+      let names = rules [] rest in
+      if names = [] then None
+      else
+        let last_line = t.line + (String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 t.text) in
+        Some { rules = names; first_line = t.line; last_line }
+  | _ -> None
+
+let suppressions tokens =
+  Array.to_list tokens
+  |> List.filter_map (fun (t : Token.t) ->
+         match t.kind with Token.Comment -> parse_suppression t | _ -> None)
+
+let suppressed sups (f : Rule.finding) =
+  List.exists
+    (fun s ->
+      List.mem f.rule s.rules && f.line >= s.first_line && f.line <= s.last_line + 1)
+    sups
+
+let compare_findings (a : Rule.finding) (b : Rule.finding) =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with 0 -> String.compare a.rule b.rule | c -> c)
+      | c -> c)
+  | c -> c
+
+let lint_string ?(rules = Rules.all) ~path ?mli_exists source =
+  let tokens = Token.tokenize source in
+  let ctx =
+    { Rule.path; source; tokens; code = Token.code tokens; mli_exists }
+  in
+  let sups = suppressions tokens in
+  List.concat_map
+    (fun (r : Rule.t) ->
+      if Rules.allowed ~rule:r.name ~path then [] else r.check ctx)
+    rules
+  |> List.filter (fun f -> not (suppressed sups f))
+  |> List.sort compare_findings
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* [path] is used both to read the file and as the repo-relative path
+   rules match against, so the driver must run from (or chdir to) the
+   repo root. *)
+let lint_file ?rules path =
+  let source = read_file path in
+  let mli_exists =
+    if
+      Rules.starts_with ~prefix:"lib/" path
+      && Rules.ends_with ~suffix:".ml" path
+    then Some (Sys.file_exists (path ^ "i"))
+    else None
+  in
+  lint_string ?rules ~path ?mli_exists source
+
+let errors findings =
+  List.filter (fun (f : Rule.finding) -> f.severity = Rule.Error) findings

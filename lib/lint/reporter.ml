@@ -1,0 +1,58 @@
+(* Renders findings to text or JSON.  Pure string builders: the lint
+   library itself obeys no-print-in-lib; bin/lint does the printing. *)
+
+open Rule
+
+let to_text findings =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s:%d:%d: [%s] %s: %s\n" f.file f.line f.col
+           (severity_to_string f.severity)
+           f.rule f.message))
+    findings;
+  (match findings with
+  | [] -> ()
+  | _ ->
+      let errs = List.length (Engine.errors findings) in
+      let warns = List.length findings - errs in
+      Buffer.add_string buf
+        (Printf.sprintf "%d error%s, %d warning%s\n" errs
+           (if errs = 1 then "" else "s")
+           warns
+           (if warns = 1 then "" else "s")));
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json findings =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n  {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \
+            \"severity\": \"%s\", \"message\": \"%s\"}"
+           (json_escape f.file) f.line f.col (json_escape f.rule)
+           (severity_to_string f.severity)
+           (json_escape f.message)))
+    findings;
+  if findings <> [] then Buffer.add_string buf "\n";
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** Finding reporters. Pure string builders; the driver prints. *)
+
+val to_text : Rule.finding list -> string
+(** Grep-friendly [file:line:col: [severity] rule: message] lines plus a
+    summary line when there are findings. *)
+
+val to_json : Rule.finding list -> string
+(** JSON array of [{file, line, col, rule, severity, message}] objects.
+    Emits [[]] when there are no findings. *)
+
+val json_escape : string -> string

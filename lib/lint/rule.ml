@@ -1,0 +1,39 @@
+type severity = Error | Warning
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+type finding = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+type ctx = {
+  path : string;  (** repo-relative path, '/'-separated *)
+  source : string;
+  tokens : Token.t array;  (** full stream, comments included *)
+  code : Token.t array;  (** comments stripped *)
+  mli_exists : bool option;
+      (** [Some b] when [path] is a [lib/**.ml] implementation file and a
+          matching interface does (not) exist; [None] otherwise. *)
+}
+
+type t = {
+  name : string;
+  severity : severity;
+  doc : string;  (** one-line description shown by [--list-rules] *)
+  check : ctx -> finding list;
+}
+
+let finding rule ctx ?(message = "") (tok : Token.t) =
+  {
+    rule = rule.name;
+    severity = rule.severity;
+    file = ctx.path;
+    line = tok.line;
+    col = tok.col;
+    message = (if message = "" then rule.doc else message);
+  }

@@ -1,0 +1,35 @@
+(** Rule interface for faultnet-lint. *)
+
+type severity = Error | Warning
+
+val severity_to_string : severity -> string
+
+type finding = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+type ctx = {
+  path : string;  (** repo-relative path, '/'-separated *)
+  source : string;
+  tokens : Token.t array;  (** full stream, comments included *)
+  code : Token.t array;  (** comments stripped *)
+  mli_exists : bool option;
+      (** [Some b] when [path] is a [lib/**.ml] implementation file and a
+          matching interface does (not) exist; [None] otherwise. *)
+}
+
+type t = {
+  name : string;
+  severity : severity;
+  doc : string;
+  check : ctx -> finding list;
+}
+
+val finding : t -> ctx -> ?message:string -> Token.t -> finding
+(** Build a finding anchored at a token; [message] defaults to the
+    rule's [doc]. *)

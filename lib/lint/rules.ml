@@ -1,0 +1,365 @@
+(* The repo-specific rule set.  Rules work on token streams from
+   {!Token}, so occurrences inside comments and string literals never
+   trigger code rules. *)
+
+open Rule
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with ~suffix s =
+  String.length s >= String.length suffix
+  && String.sub s (String.length s - String.length suffix) (String.length suffix) = suffix
+
+let basename path =
+  match String.rindex_opt path '/' with
+  | None -> path
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+
+let is_ml path = ends_with ~suffix:".ml" path
+
+(* Token-stream helpers. *)
+
+let tok (c : Token.t array) i : Token.t option = if i >= 0 && i < Array.length c then Some c.(i) else None
+
+let is_dot c i = match tok c i with Some { kind = Token.Punct; text = "."; _ } -> true | _ -> false
+
+let is_ident c i name =
+  match tok c i with Some { kind = Token.Ident; text; _ } -> text = name | _ -> false
+
+let is_op c i text' =
+  match tok c i with Some { kind = Token.Op; text; _ } -> text = text' | _ -> false
+
+(* A token is "qualified" when it follows a '.', e.g. the [compare] in
+   [Int.compare]. *)
+let qualified c i = is_dot c (i - 1)
+
+(* ------------------------------------------------------------------ *)
+(* 1. no-global-random                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let no_global_random =
+  let rec check rule ctx i acc =
+    let c = ctx.code in
+    if i >= Array.length c then List.rev acc
+    else
+      let acc =
+        match c.(i) with
+        | { kind = Token.Uident; text = "Random"; _ }
+          when is_dot c (i + 1) && not (qualified c i) ->
+            finding rule ctx
+              ~message:
+                "global Random breaks experiment reproducibility; use the seeded \
+                 splittable generator in lib/prng (Fn_prng) instead"
+              c.(i)
+            :: acc
+        | _ -> acc
+      in
+      check rule ctx (i + 1) acc
+  in
+  let rec rule =
+    {
+      name = "no-global-random";
+      severity = Error;
+      doc = "use lib/prng instead of OCaml's global Random";
+      check = (fun ctx -> if is_ml ctx.path then check rule ctx 0 [] else []);
+    }
+  in
+  rule
+
+(* ------------------------------------------------------------------ *)
+(* 2. no-poly-compare                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let sort_functions = [ "sort"; "stable_sort"; "fast_sort"; "sort_uniq" ]
+let sort_modules = [ "List"; "Array"; "ListLabels"; "ArrayLabels" ]
+
+let no_poly_compare =
+  let rec skip_label c i =
+    (* skip an optional [~cmp:] / [~compare:] label *)
+    if is_op c i "~" && (match tok c (i + 1) with Some { kind = Token.Ident; _ } -> true | _ -> false) && is_op c (i + 2) ":"
+    then skip_label c (i + 3)
+    else i
+  in
+  let comparator_pos c i =
+    (* position right after the sort head, labels and one '(' skipped *)
+    let i = skip_label c i in
+    match tok c i with Some { kind = Token.Punct; text = "("; _ } -> i + 1 | _ -> i
+  in
+  let flags_at rule ctx i =
+    let c = ctx.code in
+    let j = comparator_pos c i in
+    if is_ident c j "compare" && not (qualified c j) && not (is_dot c (j + 1)) then
+      Some
+        (finding rule ctx
+           ~message:
+             "bare polymorphic compare in a sort hot path costs a C call per \
+              comparison; use Int.compare / Float.compare or an explicit \
+              monomorphic comparator"
+           c.(j))
+    else if
+      (match tok c j with Some { kind = Token.Uident; text = "Stdlib"; _ } -> true | _ -> false)
+      && is_dot c (j + 1)
+      && is_ident c (j + 2) "compare"
+    then
+      Some
+        (finding rule ctx
+           ~message:
+             "Stdlib.compare in a sort hot path is polymorphic; use a \
+              monomorphic comparator"
+           c.(j))
+    else None
+  in
+  let rec check rule ctx i acc =
+    let c = ctx.code in
+    if i >= Array.length c then List.rev acc
+    else
+      let acc =
+        match c.(i) with
+        | { kind = Token.Uident; text; _ }
+          when List.mem text sort_modules && (not (qualified c i)) && is_dot c (i + 1) -> (
+            match tok c (i + 2) with
+            | Some { kind = Token.Ident; text = fn; _ } when List.mem fn sort_functions -> (
+                match flags_at rule ctx (i + 3) with Some f -> f :: acc | None -> acc)
+            | _ -> acc)
+        | _ -> acc
+      in
+      check rule ctx (i + 1) acc
+  in
+  let rec rule =
+    {
+      name = "no-poly-compare";
+      severity = Error;
+      doc = "no bare polymorphic compare in sort calls";
+      check = (fun ctx -> if is_ml ctx.path then check rule ctx 0 [] else []);
+    }
+  in
+  rule
+
+(* ------------------------------------------------------------------ *)
+(* 3. no-catchall-exn                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let no_catchall_exn =
+  let rec check rule ctx i stack acc =
+    let c = ctx.code in
+    if i >= Array.length c then List.rev acc
+    else
+      match c.(i) with
+      | { kind = Token.Ident; text = "try"; _ } -> check rule ctx (i + 1) (`Try :: stack) acc
+      | { kind = Token.Ident; text = "match"; _ } -> check rule ctx (i + 1) (`Match :: stack) acc
+      | { kind = Token.Ident; text = "with"; _ }
+        when is_ident c (i + 1) "type" || is_ident c (i + 1) "module" ->
+          (* module-type constraint: [S with type t = ...] *)
+          check rule ctx (i + 1) stack acc
+      | { kind = Token.Ident; text = "with"; _ } -> (
+          let owner, stack = match stack with s :: rest -> (Some s, rest) | [] -> (None, []) in
+          let j = if is_op c (i + 1) "|" then i + 2 else i + 1 in
+          match owner with
+          | Some `Try when is_ident c j "_" && is_op c (j + 1) "->" ->
+              let f =
+                finding rule ctx
+                  ~message:
+                    "catch-all exception handler swallows programming errors \
+                     (Out_of_memory, Assert_failure, ...); match specific \
+                     exceptions instead"
+                  c.(j)
+              in
+              check rule ctx (i + 1) stack (f :: acc)
+          | _ -> check rule ctx (i + 1) stack acc)
+      | _ -> check rule ctx (i + 1) stack acc
+  in
+  let rec rule =
+    {
+      name = "no-catchall-exn";
+      severity = Error;
+      doc = "no 'try ... with _ ->' catch-all exception handlers";
+      check = (fun ctx -> if is_ml ctx.path then check rule ctx 0 [] [] else []);
+    }
+  in
+  rule
+
+(* ------------------------------------------------------------------ *)
+(* 4. mli-required                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mli_required =
+  {
+    name = "mli-required";
+    severity = Error;
+    doc = "every lib/**/*.ml needs a matching .mli interface";
+    check =
+      (fun ctx ->
+        match ctx.mli_exists with
+        | Some false ->
+            [
+              {
+                rule = "mli-required";
+                severity = Error;
+                file = ctx.path;
+                line = 1;
+                col = 1;
+                message =
+                  "library module has no .mli: exported surface is \
+                   unconstrained and cross-module inlining info bloats; add " ^ ctx.path ^ "i";
+              };
+            ]
+        | _ -> []);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 5. no-print-in-lib                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let print_idents =
+  [ "print_endline"; "print_string"; "print_newline"; "print_char"; "print_int"; "print_float" ]
+
+let no_print_in_lib =
+  let rec check rule ctx i acc =
+    let c = ctx.code in
+    if i >= Array.length c then List.rev acc
+    else
+      let flag tok' =
+        finding rule ctx
+          ~message:
+            "stdout printing inside a library couples computation to the \
+             terminal; return data and print from bin/, or move this into an \
+             allowlisted reporter module"
+          tok'
+      in
+      let acc =
+        match c.(i) with
+        | { kind = Token.Ident; text; _ } when List.mem text print_idents && not (qualified c i)
+          ->
+            flag c.(i) :: acc
+        | { kind = Token.Uident; text = "Printf" | "Format"; _ }
+          when (not (qualified c i)) && is_dot c (i + 1) && is_ident c (i + 2) "printf" ->
+            flag c.(i) :: acc
+        | _ -> acc
+      in
+      check rule ctx (i + 1) acc
+  in
+  let rec rule =
+    {
+      name = "no-print-in-lib";
+      severity = Error;
+      doc = "no stdout printing in lib/ outside reporter modules";
+      check =
+        (fun ctx ->
+          if is_ml ctx.path && starts_with ~prefix:"lib/" ctx.path then check rule ctx 0 []
+          else []);
+    }
+  in
+  rule
+
+(* ------------------------------------------------------------------ *)
+(* 6. no-todo-naked                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let no_todo_naked =
+  let is_word_char ch =
+    (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || (ch >= '0' && ch <= '9') || ch = '_'
+  in
+  let tagged text i kwlen =
+    (* accept TODO(owner) / FIXME(#123) ... *)
+    let n = String.length text in
+    let j = i + kwlen in
+    if j < n && text.[j] = '(' then
+      match String.index_from_opt text j ')' with
+      | Some k -> k > j + 1
+      | None -> false
+    else
+      (* ... or an issue tag '#<digits>' anywhere later in the comment *)
+      let rec scan j =
+        if j + 1 >= n then false
+        else if text.[j] = '#' && text.[j + 1] >= '0' && text.[j + 1] <= '9' then true
+        else scan (j + 1)
+      in
+      scan j
+  in
+  let occurrences comment_tok kw acc0 rule ctx =
+    let text = (comment_tok : Token.t).text in
+    let n = String.length text and kwlen = String.length kw in
+    let rec go i line col_base acc =
+      if i + kwlen > n then acc
+      else if text.[i] = '\n' then go (i + 1) (line + 1) (i + 1) acc
+      else if
+        String.sub text i kwlen = kw
+        && (i = 0 || not (is_word_char text.[i - 1]))
+        && (i + kwlen >= n || not (is_word_char text.[i + kwlen]))
+        && not (tagged text i kwlen)
+      then
+        let col = if line = comment_tok.line then comment_tok.col + i else i - col_base + 1 in
+        let f =
+          {
+            rule = rule.name;
+            severity = rule.severity;
+            file = ctx.path;
+            line;
+            col;
+            message = kw ^ " without an owner or issue tag; write " ^ kw ^ "(name) or cite #<issue>";
+          }
+        in
+        go (i + kwlen) line col_base (f :: acc)
+      else go (i + 1) line col_base acc
+    in
+    go 0 comment_tok.line 0 acc0
+  in
+  let rec rule =
+    {
+      name = "no-todo-naked";
+      severity = Warning;
+      doc = "TODO/FIXME must carry an owner or issue tag";
+      check =
+        (fun ctx ->
+          Array.fold_left
+            (fun acc t ->
+              match (t : Token.t).kind with
+              | Token.Comment -> occurrences t "FIXME" (occurrences t "TODO" acc rule ctx) rule ctx
+              | _ -> acc)
+            [] ctx.tokens
+          |> List.rev);
+    }
+  in
+  rule
+
+(* ------------------------------------------------------------------ *)
+(* Registry and allowlist                                              *)
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    no_global_random;
+    no_poly_compare;
+    no_catchall_exn;
+    mli_required;
+    no_print_in_lib;
+    no_todo_naked;
+  ]
+
+let find name = List.find_opt (fun r -> r.name = name) all
+
+type allow = Prefix of string | Basename of string
+
+(* Paths where a rule does not apply at all, with the reason recorded
+   here rather than scattered through the tree. *)
+let allowlist =
+  [
+    (* the PRNG library is the one place allowed to touch Random, to
+       seed/splitmix on top of it *)
+    ("no-global-random", [ Prefix "lib/prng/" ]);
+    (* designated reporter modules: rendering tables / experiment
+       outcomes to stdout is their whole job *)
+    ("no-print-in-lib", [ Basename "table.ml"; Basename "report.ml"; Basename "outcome.ml" ]);
+  ]
+
+let allowed ~rule ~path =
+  match List.assoc_opt rule allowlist with
+  | None -> false
+  | Some pats ->
+      List.exists
+        (function
+          | Prefix p -> starts_with ~prefix:p path
+          | Basename b -> basename path = b)
+        pats

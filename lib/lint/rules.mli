@@ -1,0 +1,41 @@
+(** The faultnet-lint rule set and allowlist. *)
+
+val no_global_random : Rule.t
+(** Forbid [Random.] outside [lib/prng/]: the global generator breaks
+    experiment reproducibility. *)
+
+val no_poly_compare : Rule.t
+(** Flag bare [compare] (or [Stdlib.compare]) passed to
+    [List.sort]/[Array.sort] and friends: polymorphic compare costs a C
+    call per element on hot paths. *)
+
+val no_catchall_exn : Rule.t
+(** Forbid [try ... with _ ->]: catch-alls swallow programming errors. *)
+
+val mli_required : Rule.t
+(** Every [lib/**/*.ml] must have a matching [.mli]. *)
+
+val no_print_in_lib : Rule.t
+(** Forbid [Printf.printf]/[print_endline]/... in [lib/] outside the
+    reporter allowlist. *)
+
+val no_todo_naked : Rule.t
+(** [TODO]/[FIXME] must carry an owner ([TODO(name)]) or an issue tag
+    ([#123]). Warning severity. *)
+
+val all : Rule.t list
+val find : string -> Rule.t option
+
+type allow = Prefix of string | Basename of string
+
+val allowlist : (string * allow list) list
+(** Per-rule path exemptions, with the rationale kept next to each
+    entry in the implementation. *)
+
+val allowed : rule:string -> path:string -> bool
+
+(** Shared path helpers. *)
+
+val starts_with : prefix:string -> string -> bool
+val ends_with : suffix:string -> string -> bool
+val basename : string -> string

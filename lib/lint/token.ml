@@ -1,0 +1,195 @@
+(* A lightweight OCaml tokenizer for lint purposes.
+
+   It is not a full lexer: it only needs to be precise about the things
+   that make naive grep-based linting wrong — comments (which nest, and
+   which may contain string literals that themselves contain "*)"),
+   string literals (escapes, quoted {id|...|id} form), and char
+   literals vs. type variables.  Everything else is classified coarsely
+   (identifiers, numbers, operator clusters, single punctuation). *)
+
+type kind =
+  | Ident (* lowercase/underscore-initial identifier or keyword *)
+  | Uident (* capitalized identifier, i.e. module/constructor *)
+  | Number
+  | String (* any string literal, including {id|...|id} *)
+  | Char (* char literal, e.g. 'a' or '\n' *)
+  | Comment (* full comment including delimiters *)
+  | Op (* maximal run of operator characters, e.g. "->", "|>" except "." *)
+  | Punct (* single punctuation char: ( ) [ ] { } , ; ` plus "." *)
+
+type t = { kind : kind; text : string; line : int; col : int }
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_op_char c =
+  match c with
+  | '!' | '$' | '%' | '&' | '*' | '+' | '-' | '/' | ':' | '<' | '=' | '>' | '?'
+  | '@' | '^' | '|' | '~' | '#' ->
+      true
+  | _ -> false
+
+let is_number_char c =
+  is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') || c = '_'
+  || c = '.' || c = 'x' || c = 'X' || c = 'o' || c = 'O'
+
+type cursor = { src : string; len : int; mutable pos : int; mutable line : int; mutable bol : int }
+
+let peek cu i = if cu.pos + i < cu.len then Some cu.src.[cu.pos + i] else None
+
+let advance cu =
+  (if cu.src.[cu.pos] = '\n' then begin
+     cu.line <- cu.line + 1;
+     cu.bol <- cu.pos + 1
+   end);
+  cu.pos <- cu.pos + 1
+
+let advance_n cu n =
+  for _ = 1 to n do
+    if cu.pos < cu.len then advance cu
+  done
+
+(* Scan a plain "..." string body; cursor is on the opening quote. *)
+let scan_string cu =
+  advance cu;
+  let fin = ref false in
+  while (not !fin) && cu.pos < cu.len do
+    match cu.src.[cu.pos] with
+    | '\\' -> advance_n cu 2
+    | '"' ->
+        advance cu;
+        fin := true
+    | _ -> advance cu
+  done
+
+(* Scan {id|...|id} quoted string; cursor on '{'. Returns true if it
+   really was a quoted string (otherwise cursor untouched). *)
+let scan_quoted_string cu =
+  let j = ref (cu.pos + 1) in
+  while
+    !j < cu.len
+    && (let c = cu.src.[!j] in
+        (c >= 'a' && c <= 'z') || c = '_')
+  do
+    incr j
+  done;
+  if !j < cu.len && cu.src.[!j] = '|' then begin
+    let id = String.sub cu.src (cu.pos + 1) (!j - cu.pos - 1) in
+    let closing = "|" ^ id ^ "}" in
+    let clen = String.length closing in
+    advance_n cu (!j - cu.pos + 1);
+    let fin = ref false in
+    while (not !fin) && cu.pos < cu.len do
+      if cu.pos + clen <= cu.len && String.sub cu.src cu.pos clen = closing then begin
+        advance_n cu clen;
+        fin := true
+      end
+      else advance cu
+    done;
+    true
+  end
+  else false
+
+(* Scan a comment; cursor on the '(' of "(*".  Comments nest, and a
+   string literal inside a comment hides any "*)" it contains. *)
+let scan_comment cu =
+  advance_n cu 2;
+  let depth = ref 1 in
+  while !depth > 0 && cu.pos < cu.len do
+    match (cu.src.[cu.pos], peek cu 1) with
+    | '(', Some '*' ->
+        incr depth;
+        advance_n cu 2
+    | '*', Some ')' ->
+        decr depth;
+        advance_n cu 2
+    | '"', _ -> scan_string cu
+    | '{', _ -> if not (scan_quoted_string cu) then advance cu
+    | _ -> advance cu
+  done
+
+(* Try to scan a char literal; cursor on '\''.  Returns false (cursor
+   untouched) when the quote is a type-variable quote like 'a in
+   ('a list) or the prime in an identifier (handled by ident scan). *)
+let scan_char_literal cu =
+  let ok n = cu.pos + n < cu.len && cu.src.[cu.pos + n] = '\'' in
+  match peek cu 1 with
+  | None -> false
+  | Some '\\' ->
+      (* '\n' '\\' '\'' '\123' '\xFF' '\o377' — the escaped char at
+         position 2 is part of the literal, so the closing quote is at
+         position >= 3 (this matters for '\'' and '\\'). *)
+      let rec close n = if n > 6 then false else if ok n then true else close (n + 1) in
+      if close 3 then begin
+        let n = ref 3 in
+        while not (ok !n) do
+          incr n
+        done;
+        advance_n cu (!n + 1);
+        true
+      end
+      else false
+  | Some _ when ok 2 ->
+      advance_n cu 3;
+      true
+  | _ -> false
+
+let tokenize src =
+  let cu = { src; len = String.length src; pos = 0; line = 1; bol = 0 } in
+  let toks = ref [] in
+  let emit kind start line col =
+    toks := { kind; text = String.sub src start (cu.pos - start); line; col } :: !toks
+  in
+  while cu.pos < cu.len do
+    let start = cu.pos and line = cu.line in
+    let col = cu.pos - cu.bol + 1 in
+    let c = src.[cu.pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then advance cu
+    else if c = '(' && peek cu 1 = Some '*' then begin
+      scan_comment cu;
+      emit Comment start line col
+    end
+    else if c = '"' then begin
+      scan_string cu;
+      emit String start line col
+    end
+    else if c = '{' && scan_quoted_string cu then emit String start line col
+    else if c = '\'' && scan_char_literal cu then emit Char start line col
+    else if is_ident_start c then begin
+      while cu.pos < cu.len && is_ident_char src.[cu.pos] do
+        advance cu
+      done;
+      emit (if c >= 'A' && c <= 'Z' then Uident else Ident) start line col
+    end
+    else if is_digit c then begin
+      while cu.pos < cu.len && is_number_char src.[cu.pos] do
+        advance cu
+      done;
+      emit Number start line col
+    end
+    else if c = '.' then begin
+      advance cu;
+      emit Punct start line col
+    end
+    else if is_op_char c then begin
+      while cu.pos < cu.len && is_op_char src.[cu.pos] do
+        advance cu
+      done;
+      emit Op start line col
+    end
+    else begin
+      advance cu;
+      emit Punct start line col
+    end
+  done;
+  Array.of_list (List.rev !toks)
+
+(* Code tokens only (comments stripped), for rules that inspect code. *)
+let code tokens = Array.of_list (List.filter (fun t -> t.kind <> Comment) (Array.to_list tokens))

@@ -1,0 +1,25 @@
+(** Lightweight OCaml tokenizer for lint purposes.
+
+    Precise about comments (nesting, embedded strings), string literals
+    (escapes and [{id|...|id}] quoted strings) and char literals; coarse
+    about everything else. *)
+
+type kind =
+  | Ident  (** lowercase/underscore-initial identifier or keyword *)
+  | Uident  (** capitalized identifier (module / constructor) *)
+  | Number
+  | String  (** string literal, including quoted-string form *)
+  | Char  (** char literal *)
+  | Comment  (** full comment text including [(*] and [*)] delimiters *)
+  | Op  (** maximal run of operator characters, e.g. ["->"], ["|>"] *)
+  | Punct  (** single punctuation char, including ["."] *)
+
+type t = { kind : kind; text : string; line : int; col : int }
+(** [line] is 1-based, [col] is 1-based. *)
+
+val tokenize : string -> t array
+(** Tokenize a full source file. Never raises; unrecognized bytes become
+    single-char [Punct] tokens. *)
+
+val code : t array -> t array
+(** The same stream with [Comment] tokens removed, for code rules. *)

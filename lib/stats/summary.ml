@@ -33,7 +33,7 @@ let quantile xs q =
   if Array.length xs = 0 then invalid_arg "Summary.quantile: empty sample";
   if q < 0.0 || q > 1.0 then invalid_arg "Summary.quantile: q out of [0,1]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let pos = q *. float_of_int (n - 1) in
   let lo = int_of_float (floor pos) in

@@ -83,7 +83,7 @@ let gen_int_set =
 let prop_roundtrip =
   prop "of_list/to_list is sorted dedup" gen_int_set (fun (n, xs) ->
       let s = Bitset.of_list n xs in
-      Bitset.to_list s = List.sort_uniq compare xs)
+      Bitset.to_list s = List.sort_uniq Int.compare xs)
 
 let prop_complement_involution =
   prop "complement twice is identity" gen_int_set (fun (n, xs) ->

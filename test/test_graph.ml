@@ -31,7 +31,7 @@ let test_iter_edges_once () =
   let seen = ref [] in
   Graph.iter_edges triangle (fun u v -> seen := (u, v) :: !seen);
   check_bool "each edge once with u<v" true
-    (List.sort compare !seen = [ (0, 1); (0, 2); (1, 2) ])
+    (List.sort Graph.compare_int_pair !seen = [ (0, 1); (0, 2); (1, 2) ])
 
 let test_edges_array () =
   check_bool "edges array" true (Graph.edges triangle = [| (0, 1); (0, 2); (1, 2) |])

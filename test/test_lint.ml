@@ -1,0 +1,294 @@
+(* Tests for faultnet-lint: tokenizer edge cases, every rule (hit and
+   non-hit fixtures), suppression comments, allowlist, reporters. *)
+
+open Fn_lint
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let lint ?(path = "lib/somelib/somefile.ml") ?mli_exists src =
+  Engine.lint_string ~path ?mli_exists src
+
+let rules_hit findings = List.map (fun (f : Rule.finding) -> f.rule) findings
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let kinds src =
+  Token.tokenize src |> Array.to_list |> List.map (fun (t : Token.t) -> t.kind)
+
+let test_tok_basic () =
+  let toks = Token.tokenize "let x = List.sort compare xs" in
+  check_int "count" 8 (Array.length toks);
+  check_bool "module is Uident" true (toks.(3).kind = Token.Uident);
+  check_string "dot" "." toks.(4).text;
+  check_int "col of x" 5 toks.(1).col
+
+let test_tok_nested_comment () =
+  match kinds "(* outer (* inner *) still outer *) x" with
+  | [ Token.Comment; Token.Ident ] -> ()
+  | _ -> Alcotest.fail "nested comment should be one token"
+
+let test_tok_string_in_comment () =
+  (* a string inside a comment hides the "*)" it contains *)
+  match kinds {|(* tricky " *) " end *) y|} with
+  | [ Token.Comment; Token.Ident ] -> ()
+  | _ -> Alcotest.fail {|string containing "*)" inside comment mis-lexed|}
+
+let test_tok_comment_in_string () =
+  (* comment openers inside string literals are just text *)
+  match kinds {|let s = "(* not a comment *)"|} with
+  | [ Token.Ident; Token.Ident; Token.Op; Token.String ] -> ()
+  | _ -> Alcotest.fail "comment delimiters in string mis-lexed"
+
+let test_tok_quoted_string () =
+  let toks = Token.tokenize "let s = {q|raw \" (* |w} still |q} x" in
+  check_bool "quoted string token" true
+    (Array.exists (fun (t : Token.t) -> t.kind = Token.String && t.text = "{q|raw \" (* |w} still |q}") toks)
+
+let test_tok_char_vs_tyvar () =
+  (* 'a' is a char literal; 'a in a type annotation is not *)
+  let toks = Token.tokenize "let c = 'a' let f (x : 'a) = x" in
+  let chars =
+    Array.to_list toks |> List.filter (fun (t : Token.t) -> t.kind = Token.Char)
+  in
+  check_int "exactly one char literal" 1 (List.length chars);
+  check_string "char text" "'a'" (List.hd chars).text
+
+let test_tok_escaped_char () =
+  let toks = Token.tokenize {|let q = '\'' and n = '\n' and d = '\123'|} in
+  let chars =
+    Array.to_list toks
+    |> List.filter (fun (t : Token.t) -> t.kind = Token.Char)
+    |> List.map (fun (t : Token.t) -> t.text)
+  in
+  check_bool "escaped quote char" true (chars = [ {|'\''|}; {|'\n'|}; {|'\123'|} ])
+
+let test_tok_line_numbers () =
+  let toks = Token.tokenize "let a = 1\n\nlet b = 2" in
+  let b = toks.(5) in
+  check_string "ident b" "b" b.text;
+  check_int "line of b" 3 b.line;
+  check_int "col of b" 5 b.col
+
+(* ------------------------------------------------------------------ *)
+(* Rules: each must hit its seeded fixture and stay quiet on clean code *)
+(* ------------------------------------------------------------------ *)
+
+let test_no_global_random () =
+  let fs = lint "let roll () = Random.int 6" in
+  check_bool "hit" true (List.mem "no-global-random" (rules_hit fs));
+  (* allowlisted inside lib/prng *)
+  let fs = lint ~path:"lib/prng/rng.ml" "let x = Random.int 6" in
+  check_bool "allowlisted in lib/prng" false (List.mem "no-global-random" (rules_hit fs));
+  (* qualified or commented mentions are fine *)
+  let fs = lint "(* Random.int would be wrong *) let x = My_random.int 6" in
+  check_bool "comment + other module" false (List.mem "no-global-random" (rules_hit fs))
+
+let test_no_poly_compare () =
+  let hit src = List.mem "no-poly-compare" (rules_hit (lint src)) in
+  check_bool "List.sort compare" true (hit "let s = List.sort compare xs");
+  check_bool "Array.sort compare" true (hit "let () = Array.sort compare a");
+  check_bool "List.sort_uniq compare" true (hit "let s = List.sort_uniq compare xs");
+  check_bool "Stdlib.compare" true (hit "let s = List.sort Stdlib.compare xs");
+  check_bool "parenthesized" true (hit "let s = List.sort (compare) xs");
+  check_bool "labelled" true (hit "let s = ListLabels.sort ~cmp:compare xs");
+  check_bool "Int.compare ok" false (hit "let s = List.sort Int.compare xs");
+  check_bool "custom comparator ok" false (hit "let s = List.sort cmp_edge xs");
+  check_bool "compare fn of module ok" false (hit "let s = List.sort Edge.compare xs");
+  check_bool "unrelated compare ok" false (hit "let c = compare a b");
+  let fs = lint "let s =\n  List.sort compare xs" in
+  (match fs with
+  | [ f ] -> check_int "line of finding" 2 f.line
+  | _ -> Alcotest.fail "expected exactly one finding")
+
+let test_no_catchall_exn () =
+  let hit src = List.mem "no-catchall-exn" (rules_hit (lint src)) in
+  check_bool "try with _" true (hit "let x = try f () with _ -> 0");
+  check_bool "try with | _" true (hit "let x = try f () with | _ -> 0");
+  check_bool "named exn ok" false (hit "let x = try f () with Not_found -> 0");
+  check_bool "match wildcard ok" false (hit "let x = match v with _ -> 0");
+  check_bool "nested match in try ok" false
+    (hit "let x = try match v with _ -> g () with Not_found -> 0");
+  check_bool "with-type constraint ok" false
+    (hit "module M : S with type t = int = Impl")
+
+let test_mli_required () =
+  let fs = lint ~mli_exists:false "let x = 1" in
+  check_bool "hit when missing" true (List.mem "mli-required" (rules_hit fs));
+  let fs = lint ~mli_exists:true "let x = 1" in
+  check_bool "quiet when present" false (List.mem "mli-required" (rules_hit fs));
+  (* driver only sets mli_exists for lib; unset means not applicable *)
+  let fs = lint "let x = 1" in
+  check_bool "quiet when not applicable" false (List.mem "mli-required" (rules_hit fs))
+
+let test_no_print_in_lib () =
+  let hit ?path src = List.mem "no-print-in-lib" (rules_hit (lint ?path src)) in
+  check_bool "print_endline in lib" true (hit "let () = print_endline \"hi\"");
+  check_bool "Printf.printf in lib" true (hit "let () = Printf.printf \"%d\" 3");
+  check_bool "Format.printf in lib" true (hit "let () = Format.printf \"%d\" 3");
+  check_bool "sprintf ok" false (hit "let s = Printf.sprintf \"%d\" 3");
+  check_bool "eprintf ok" false (hit "let () = Printf.eprintf \"%d\" 3");
+  check_bool "bin may print" false (hit ~path:"bin/tool.ml" "let () = print_endline \"hi\"");
+  check_bool "reporter allowlisted" false
+    (hit ~path:"lib/stats/table.ml" "let () = print_endline \"hi\"")
+
+let test_no_todo_naked () =
+  let hit src = List.mem "no-todo-naked" (rules_hit (lint src)) in
+  check_bool "naked TODO" true (hit "(* TODO handle overflow *) let x = 1");
+  check_bool "naked FIXME" true (hit "(* FIXME *) let x = 1");
+  check_bool "owned TODO ok" false (hit "(* TODO(alice) handle overflow *) let x = 1");
+  check_bool "issue tag ok" false (hit "(* TODO: see #42 *) let x = 1");
+  check_bool "TODO in code ident ok" false (hit "let todos = 1 let xTODO = 2");
+  check_bool "severity is warning" true
+    (match lint "(* TODO x *) let a = 1" with
+    | [ f ] -> f.severity = Rule.Warning
+    | _ -> false);
+  (* multi-line comment: finding on the right line *)
+  (match lint "(* line one\n   TODO fix me\n*) let a = 1" with
+  | [ f ] -> check_int "line in multi-line comment" 2 f.line
+  | _ -> Alcotest.fail "expected one finding")
+
+(* ------------------------------------------------------------------ *)
+(* Suppression                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_suppression_same_line () =
+  let fs = lint "let s = List.sort compare xs (* lint: allow no-poly-compare *)" in
+  check_int "suppressed" 0 (List.length fs)
+
+let test_suppression_next_line () =
+  let fs =
+    lint
+      "(* lint: allow no-poly-compare — generic helper, not hot *)\n\
+       let s = List.sort compare xs"
+  in
+  check_int "suppressed" 0 (List.length fs)
+
+let test_suppression_wrong_rule () =
+  let fs = lint "let s = List.sort compare xs (* lint: allow no-global-random *)" in
+  check_int "not suppressed by other rule" 1 (List.length fs)
+
+let test_suppression_out_of_range () =
+  let fs =
+    lint "(* lint: allow no-poly-compare *)\nlet a = 1\nlet s = List.sort compare xs"
+  in
+  check_int "two lines below: not suppressed" 1 (List.length fs)
+
+let test_suppression_multiple_rules () =
+  let fs =
+    lint
+      "let s = List.sort compare xs |> ignore; Random.int 6 (* lint: allow \
+       no-poly-compare no-global-random *)"
+  in
+  check_int "both suppressed" 0 (List.length fs)
+
+let test_suppression_parse () =
+  let toks = Token.tokenize "(* lint: allow no-poly-compare no-todo-naked justification *)" in
+  match Engine.parse_suppression toks.(0) with
+  | Some s ->
+      check_bool "rules parsed" true (s.rules = [ "no-poly-compare"; "no-todo-naked"; "justification" ])
+  | None -> Alcotest.fail "suppression not parsed"
+
+(* ------------------------------------------------------------------ *)
+(* Reporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_text_reporter () =
+  let fs = lint ~path:"lib/x/y.ml" "let s =\n  List.sort compare xs" in
+  let txt = Reporter.to_text fs in
+  check_bool "file:line:col prefix" true (contains ~needle:"lib/x/y.ml:2:13:" txt);
+  check_bool "severity" true (contains ~needle:"[error]" txt);
+  check_bool "summary" true (contains ~needle:"1 error, 0 warnings" txt)
+
+let test_json_reporter () =
+  let fs =
+    lint ~path:"lib/x/y.ml" "let s = List.sort compare xs\n(* TODO later *)"
+  in
+  let js = Reporter.to_json fs in
+  check_bool "file field" true (contains ~needle:{|"file": "lib/x/y.ml"|} js);
+  check_bool "line field" true (contains ~needle:{|"line": 1|} js);
+  check_bool "rule field" true (contains ~needle:{|"rule": "no-poly-compare"|} js);
+  check_bool "severity field" true (contains ~needle:{|"severity": "warning"|} js);
+  check_bool "array brackets" true (js.[0] = '[' && contains ~needle:"]" js)
+
+let test_json_empty () = check_string "empty array" "[]\n" (Reporter.to_json [])
+
+let test_json_escape () =
+  check_string "escapes" {|a\"b\\c\nd|} (Reporter.json_escape "a\"b\\c\nd")
+
+(* ------------------------------------------------------------------ *)
+(* Engine odds and ends                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_findings_sorted () =
+  let fs =
+    lint "let a = Random.int 6\nlet s = List.sort compare xs\nlet b = Random.bool ()"
+  in
+  let lines = List.map (fun (f : Rule.finding) -> f.line) fs in
+  check_bool "sorted by line" true (lines = List.sort Int.compare lines);
+  check_int "three findings" 3 (List.length fs)
+
+let test_errors_filter () =
+  let fs = lint "(* TODO x *) let s = List.sort compare xs" in
+  check_int "total" 2 (List.length fs);
+  check_int "errors only" 1 (List.length (Engine.errors fs))
+
+let test_mli_not_linted_for_code_rules () =
+  (* .mli files carry no code rules, but naked TODOs still warn *)
+  let fs = lint ~path:"lib/x/y.mli" "val sort : unit\n(* TODO document *)" in
+  check_bool "only todo rule" true (rules_hit fs = [ "no-todo-naked" ])
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "tokenizer",
+        [
+          Alcotest.test_case "basic" `Quick test_tok_basic;
+          Alcotest.test_case "nested comment" `Quick test_tok_nested_comment;
+          Alcotest.test_case "string in comment" `Quick test_tok_string_in_comment;
+          Alcotest.test_case "comment in string" `Quick test_tok_comment_in_string;
+          Alcotest.test_case "quoted string" `Quick test_tok_quoted_string;
+          Alcotest.test_case "char vs tyvar" `Quick test_tok_char_vs_tyvar;
+          Alcotest.test_case "escaped char" `Quick test_tok_escaped_char;
+          Alcotest.test_case "line numbers" `Quick test_tok_line_numbers;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "no-global-random" `Quick test_no_global_random;
+          Alcotest.test_case "no-poly-compare" `Quick test_no_poly_compare;
+          Alcotest.test_case "no-catchall-exn" `Quick test_no_catchall_exn;
+          Alcotest.test_case "mli-required" `Quick test_mli_required;
+          Alcotest.test_case "no-print-in-lib" `Quick test_no_print_in_lib;
+          Alcotest.test_case "no-todo-naked" `Quick test_no_todo_naked;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "same line" `Quick test_suppression_same_line;
+          Alcotest.test_case "next line" `Quick test_suppression_next_line;
+          Alcotest.test_case "wrong rule" `Quick test_suppression_wrong_rule;
+          Alcotest.test_case "out of range" `Quick test_suppression_out_of_range;
+          Alcotest.test_case "multiple rules" `Quick test_suppression_multiple_rules;
+          Alcotest.test_case "parse" `Quick test_suppression_parse;
+        ] );
+      ( "reporters",
+        [
+          Alcotest.test_case "text" `Quick test_text_reporter;
+          Alcotest.test_case "json" `Quick test_json_reporter;
+          Alcotest.test_case "json empty" `Quick test_json_empty;
+          Alcotest.test_case "json escape" `Quick test_json_escape;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "findings sorted" `Quick test_findings_sorted;
+          Alcotest.test_case "errors filter" `Quick test_errors_filter;
+          Alcotest.test_case "mli code rules off" `Quick test_mli_not_linted_for_code_rules;
+        ] );
+    ]

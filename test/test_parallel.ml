@@ -35,7 +35,7 @@ let test_trials_deterministic_across_domains () =
 let test_trials_distinct_generators () =
   let rng = Fn_prng.Rng.create 1 in
   let outs = Par.trials ~domains:2 ~rng 8 (fun r -> Fn_prng.Rng.bits64 r) in
-  let distinct = Array.to_list outs |> List.sort_uniq compare |> List.length in
+  let distinct = Array.to_list outs |> List.sort_uniq Int64.compare |> List.length in
   check_int "independent streams" 8 distinct
 
 let test_default_domains_reasonable () =

@@ -34,7 +34,7 @@ let test_split_independent () =
   let r = Rng.create 5 in
   let kids = Rng.split_n r 4 in
   let outputs = Array.map (fun k -> Rng.bits64 k) kids in
-  let distinct = Array.to_list outputs |> List.sort_uniq compare |> List.length in
+  let distinct = Array.to_list outputs |> List.sort_uniq Int64.compare |> List.length in
   check_int "children produce distinct values" 4 distinct
 
 let test_int_bounds () =
@@ -80,7 +80,8 @@ let test_bernoulli_extremes () =
 let test_permutation () =
   let r = Rng.create 11 in
   let p = Rng.permutation r 50 in
-  check_bool "is permutation" true (List.sort compare (Array.to_list p) = List.init 50 Fun.id)
+  check_bool "is permutation" true
+    (List.sort Int.compare (Array.to_list p) = List.init 50 Fun.id)
 
 let test_sample () =
   let r = Rng.create 13 in
@@ -89,7 +90,7 @@ let test_sample () =
     (fun (n, k) ->
       let s = Rng.sample r n k in
       check_int "sample size" k (Array.length s);
-      let sorted = List.sort_uniq compare (Array.to_list s) in
+      let sorted = List.sort_uniq Int.compare (Array.to_list s) in
       check_int "distinct" k (List.length sorted);
       List.iter (fun v -> if v < 0 || v >= n then Alcotest.fail "sample out of range") sorted)
     [ (100, 3); (100, 80); (10, 10); (10, 0) ];

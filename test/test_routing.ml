@@ -9,7 +9,7 @@ let path5 = Fn_topology.Basic.path 5
 let test_permutation_demand () =
   let d = Demand.permutation (rng ()) mesh4 in
   check_bool "no self pairs" true (Array.for_all (fun (s, t) -> s <> t) d);
-  let sources = Array.map fst d |> Array.to_list |> List.sort_uniq compare in
+  let sources = Array.map fst d |> Array.to_list |> List.sort_uniq Int.compare in
   check_int "each source once" (Array.length d) (List.length sources);
   let alive = Bitset.of_list 16 [ 0; 1; 2 ] in
   let d = Demand.permutation (rng ()) ~alive mesh4 in

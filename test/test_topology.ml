@@ -210,7 +210,7 @@ let test_chain_graph_structure () =
   let centers = Fn_topology.Chain_graph.chain_centers cg in
   check_int "one center per edge" 4 (Array.length centers);
   check_int "distinct centers" 4
-    (List.length (List.sort_uniq compare (Array.to_list centers)));
+    (List.length (List.sort_uniq Int.compare (Array.to_list centers)));
   Array.iter (fun c -> check_int "center degree" 2 (Graph.degree h c)) centers;
   let chain = Fn_topology.Chain_graph.chain_of_edge cg 0 in
   check_int "chain length" 4 (Array.length chain);
