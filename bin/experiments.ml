@@ -1,15 +1,25 @@
-(* Run the E1-E10 validation experiments and print their tables.
+(* Run the E1-E14 validation experiments and print their tables.
 
-   Usage: experiments [--quick] [--seed N] [ids...]
-   With no ids, runs everything in order. *)
+   Usage: experiments [--quick] [--seed N] [--domains N] [--json]
+                      [--trace FILE] [--metrics] [ids...]
+   With no ids, runs everything in order.  --trace streams JSONL spans
+   (per-experiment, per-Prune-round, per-sweep...) to FILE; --metrics
+   prints the metrics registry to stderr at exit; --json replaces the
+   rendered tables with one JSON object per experiment on stdout. *)
 
 let usage () =
-  prerr_endline "usage: experiments [--quick] [--seed N] [E1 E2 ...]";
+  prerr_endline
+    "usage: experiments [--quick] [--seed N] [--domains N] [--json] [--trace FILE] \
+     [--metrics] [E1 E2 ...]";
   exit 2
 
 let () =
   let quick = ref false in
   let seed = ref 1234 in
+  let domains = ref None in
+  let json = ref false in
+  let trace = ref None in
+  let metrics = ref false in
   let ids = ref [] in
   let rec parse = function
     | [] -> ()
@@ -22,12 +32,35 @@ let () =
         seed := s;
         parse rest
       | None -> usage ())
+    | "--domains" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some d ->
+        domains := Some d;
+        parse rest
+      | None -> usage ())
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "--trace" :: path :: rest ->
+      trace := Some path;
+      parse rest
+    | "--metrics" :: rest ->
+      metrics := true;
+      parse rest
     | "--help" :: _ -> usage ()
     | id :: rest ->
       ids := id :: !ids;
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  let sink =
+    match !trace with
+    | Some path -> Fn_obs.Sink.jsonl_file path
+    | None -> if !metrics then Fn_obs.Sink.discard () else Fn_obs.Sink.null
+  in
+  let cfg =
+    Fn_experiments.Workload.config ~quick:!quick ~seed:!seed ?domains:!domains ~obs:sink ()
+  in
   let entries =
     match List.rev !ids with
     | [] -> Fn_experiments.Registry.all
@@ -44,15 +77,34 @@ let () =
   let failures = ref 0 in
   List.iter
     (fun (e : Fn_experiments.Registry.entry) ->
-      let started = Unix.gettimeofday () in
-      let outcome = e.Fn_experiments.Registry.run ~quick:!quick ~seed:!seed () in
-      let elapsed = Unix.gettimeofday () -. started in
-      print_string (Fn_experiments.Outcome.render outcome);
-      Printf.printf "  (%.1fs)\n\n" elapsed;
-      if not (Fn_experiments.Outcome.all_passed outcome) then incr failures)
+      let started = Fn_obs.Clock.now_ns () in
+      let sp =
+        if Fn_obs.Sink.enabled sink then
+          Fn_obs.Span.enter sink "experiment"
+            ~fields:
+              [
+                ("id", Fn_obs.Sink.Str e.Fn_experiments.Registry.id);
+                ("quick", Fn_obs.Sink.Bool !quick);
+                ("seed", Fn_obs.Sink.Int !seed);
+              ]
+        else Fn_obs.Span.null
+      in
+      let outcome = e.Fn_experiments.Registry.run cfg in
+      let passed = Fn_experiments.Outcome.all_passed outcome in
+      if Fn_obs.Sink.enabled sink then
+        Fn_obs.Span.exit sp ~fields:[ ("passed", Fn_obs.Sink.Bool passed) ];
+      let elapsed = Fn_obs.Clock.elapsed_s ~since_ns:started in
+      if !json then print_endline (Fn_experiments.Outcome.to_json outcome)
+      else begin
+        print_string (Fn_experiments.Outcome.render outcome);
+        Printf.printf "  (%.1fs)\n\n" elapsed
+      end;
+      if not passed then incr failures)
     entries;
+  Fn_obs.Sink.close sink;
+  if !metrics then prerr_string (Fn_obs.Metrics.report_text ());
   if !failures > 0 then begin
-    Printf.printf "%d experiment(s) had failing checks\n" !failures;
+    if not !json then Printf.printf "%d experiment(s) had failing checks\n" !failures;
     exit 1
   end
-  else print_endline "All experiment checks passed."
+  else if not !json then print_endline "All experiment checks passed."

@@ -7,7 +7,11 @@
      span        estimate the span of a graph file
      percolate   estimate a percolation threshold
      attack      apply an adversary and report component structure
-     experiment  run one of the E1-E10 validation experiments *)
+     experiment  run one of the E1-E14 validation experiments
+
+   Subcommands touching the instrumented kernels (expansion, prune,
+   percolate, experiment) accept --trace FILE (JSONL span stream) and
+   --metrics (registry dump on stderr at exit). *)
 
 open Cmdliner
 
@@ -16,6 +20,31 @@ let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let rng_of_seed seed = Fn_prng.Rng.create seed
+
+(* ---- observability flags shared by the instrumented subcommands ---- *)
+
+let trace_arg =
+  let doc = "Stream observability spans and events as JSONL to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Print the metrics registry to stderr when the command finishes." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Build the sink from the flags, run the command body with it, and
+   always flush/report at the end.  No flags -> null sink: the
+   instrumented kernels skip every clock read and allocation. *)
+let with_obs ~trace ~metrics f =
+  let sink =
+    match trace with
+    | Some path -> Fn_obs.Sink.jsonl_file path
+    | None -> if metrics then Fn_obs.Sink.discard () else Fn_obs.Sink.null
+  in
+  let finish () =
+    Fn_obs.Sink.close sink;
+    if metrics then prerr_string (Fn_obs.Metrics.report_text ())
+  in
+  Fun.protect ~finally:finish (fun () -> f sink)
 
 (* ---- topology construction shared by gen/prune/span/... ---- *)
 
@@ -108,12 +137,13 @@ let objective_arg =
   Arg.(value & opt obj_conv Fn_expansion.Cut.Node & info [ "objective" ] ~docv:"OBJ" ~doc)
 
 let expansion_cmd =
-  let run seed topology input objective =
+  let run seed topology input objective trace metrics =
     let rng = rng_of_seed seed in
     match load_graph rng ~topology ~input with
     | Error (`Msg m) -> `Error (false, m)
     | Ok g ->
-      let est = Fn_expansion.Estimate.run ~rng g objective in
+      with_obs ~trace ~metrics @@ fun obs ->
+      let est = Fn_expansion.Estimate.run ~obs ~rng g objective in
       Printf.printf "graph: %d nodes, %d edges\n" (Fn_graph.Graph.num_nodes g)
         (Fn_graph.Graph.num_edges g);
       Printf.printf "%s expansion %s: %.6f (witness side %d)\n"
@@ -127,7 +157,10 @@ let expansion_cmd =
       `Ok ()
   in
   let term =
-    Term.(ret (const run $ seed_arg $ topology_opt_arg $ input_arg $ objective_arg))
+    Term.(
+      ret
+        (const run $ seed_arg $ topology_opt_arg $ input_arg $ objective_arg $ trace_arg
+       $ metrics_arg))
   in
   Cmd.v (Cmd.info "expansion" ~doc:"Estimate the expansion of a graph") term
 
@@ -146,34 +179,39 @@ let prune_cmd =
     let doc = "Use Prune2 (edge expansion, compactified culls) instead of Prune." in
     Arg.(value & flag & info [ "edge" ] ~doc)
   in
-  let run seed topology input fault_p epsilon edge_mode =
+  let run seed topology input fault_p epsilon edge_mode trace metrics =
     let rng = rng_of_seed seed in
     match load_graph rng ~topology ~input with
     | Error (`Msg m) -> `Error (false, m)
     | Ok g ->
+      with_obs ~trace ~metrics @@ fun obs ->
       let faults = Fn_faults.Random_faults.nodes_iid rng g fault_p in
       let alive = faults.Fn_faults.Fault_set.alive in
       Printf.printf "graph: %d nodes; faults: %d\n" (Fn_graph.Graph.num_nodes g)
         (Fn_faults.Fault_set.count faults);
       if edge_mode then begin
         let alpha_e =
-          (Fn_expansion.Estimate.run ~rng g Fn_expansion.Cut.Edge).Fn_expansion.Estimate.value
+          (Fn_expansion.Estimate.run ~obs ~rng g Fn_expansion.Cut.Edge)
+            .Fn_expansion.Estimate.value
         in
-        let res = Faultnet.Prune2.run ~rng g ~alive ~alpha_e ~epsilon in
+        let res = Faultnet.Prune2.run ~obs ~rng g ~alive ~alpha_e ~epsilon in
         print_endline (Faultnet.Report.prune2_summary g res)
       end
       else begin
         let alpha =
-          (Fn_expansion.Estimate.run ~rng g Fn_expansion.Cut.Node).Fn_expansion.Estimate.value
+          (Fn_expansion.Estimate.run ~obs ~rng g Fn_expansion.Cut.Node)
+            .Fn_expansion.Estimate.value
         in
-        let res = Faultnet.Prune.run ~rng g ~alive ~alpha ~epsilon in
+        let res = Faultnet.Prune.run ~obs ~rng g ~alive ~alpha ~epsilon in
         print_endline (Faultnet.Report.prune_summary g res)
       end;
       `Ok ()
   in
   let term =
     Term.(
-      ret (const run $ seed_arg $ topology_opt_arg $ input_arg $ fault_p $ epsilon $ edge_mode))
+      ret
+        (const run $ seed_arg $ topology_opt_arg $ input_arg $ fault_p $ epsilon $ edge_mode
+       $ trace_arg $ metrics_arg))
   in
   Cmd.v (Cmd.info "prune" ~doc:"Inject random faults and run Prune/Prune2") term
 
@@ -217,19 +255,23 @@ let percolate_cmd =
     in
     Arg.(value & opt mode_conv Fn_percolation.Threshold.Bond & info [ "mode" ] ~docv:"MODE" ~doc)
   in
-  let run seed topology input runs mode =
+  let run seed topology input runs mode trace metrics =
     let rng = rng_of_seed seed in
     match load_graph rng ~topology ~input with
     | Error (`Msg m) -> `Error (false, m)
     | Ok g ->
-      let r = Fn_percolation.Threshold.estimate ~runs ~rng mode g in
+      with_obs ~trace ~metrics @@ fun obs ->
+      let r = Fn_percolation.Threshold.estimate ~obs ~runs ~rng mode g in
       Printf.printf "threshold estimate: p* = %.4f (gamma level %.2f, %d runs)\n"
         r.Fn_percolation.Threshold.p_star r.Fn_percolation.Threshold.level
         r.Fn_percolation.Threshold.runs;
       `Ok ()
   in
   let term =
-    Term.(ret (const run $ seed_arg $ topology_opt_arg $ input_arg $ runs $ mode))
+    Term.(
+      ret
+        (const run $ seed_arg $ topology_opt_arg $ input_arg $ runs $ mode $ trace_arg
+       $ metrics_arg))
   in
   Cmd.v (Cmd.info "percolate" ~doc:"Estimate a percolation threshold") term
 
@@ -382,22 +424,31 @@ let report_cmd =
 
 let experiment_cmd =
   let id =
-    let doc = "Experiment id (E1..E10)." in
+    let doc = "Experiment id (E1..E14)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
   let quick =
     let doc = "Reduced sizes/trials." in
     Arg.(value & flag & info [ "quick" ] ~doc)
   in
-  let run seed id quick =
+  let json =
+    let doc = "Emit the outcome as one JSON object instead of a rendered table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run seed id quick json trace metrics =
     match Fn_experiments.Registry.find id with
-    | None -> `Error (false, Printf.sprintf "unknown experiment %S (E1..E10)" id)
+    | None -> `Error (false, Printf.sprintf "unknown experiment %S (E1..E14)" id)
     | Some e ->
-      let outcome = e.Fn_experiments.Registry.run ~quick ~seed () in
-      print_string (Fn_experiments.Outcome.render outcome);
+      with_obs ~trace ~metrics @@ fun obs ->
+      let cfg = Fn_experiments.Workload.config ~quick ~seed ~obs () in
+      let outcome = e.Fn_experiments.Registry.run cfg in
+      if json then print_endline (Fn_experiments.Outcome.to_json outcome)
+      else print_string (Fn_experiments.Outcome.render outcome);
       if Fn_experiments.Outcome.all_passed outcome then `Ok () else `Error (false, "checks failed")
   in
-  let term = Term.(ret (const run $ seed_arg $ id $ quick)) in
+  let term =
+    Term.(ret (const run $ seed_arg $ id $ quick $ json $ trace_arg $ metrics_arg))
+  in
   Cmd.v (Cmd.info "experiment" ~doc:"Run a paper-validation experiment") term
 
 let () =

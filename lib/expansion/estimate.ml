@@ -45,15 +45,28 @@ let ball_candidates ?alive g rng samples =
   end;
   !out
 
-let run ?alive ?rng ?(samples = 8) ?(local_search_passes = 4) ?(force_heuristic = false) g
-    objective =
+let run ?(obs = Fn_obs.Sink.null) ?alive ?rng ?(samples = 8) ?(local_search_passes = 4)
+    ?(force_heuristic = false) g objective =
   let rng = match rng with Some r -> r | None -> Rng.create 0xFA17 in
   let nodes = alive_nodes ?alive g in
   let total = Array.length nodes in
   if total < 2 then invalid_arg "Estimate.run: need at least 2 alive nodes";
-  match disconnected_witness ?alive g with
-  | Some w -> { value = 0.0; witness = w; objective; exact = true; lower = Some 0.0 }
-  | None ->
+  let on = Fn_obs.Sink.enabled obs in
+  let sp =
+    if on then
+      Fn_obs.Span.enter obs "expansion.estimate"
+        ~fields:
+          [
+            ( "objective",
+              Fn_obs.Sink.Str (match objective with Cut.Node -> "node" | Cut.Edge -> "edge") );
+            ("alive", Fn_obs.Sink.Int total);
+          ]
+    else Fn_obs.Span.null
+  in
+  let result =
+    match disconnected_witness ?alive g with
+    | Some w -> { value = 0.0; witness = w; objective; exact = true; lower = Some 0.0 }
+    | None ->
     let use_exact =
       (not force_heuristic) && alive = None && Graph.num_nodes g <= Exact.max_nodes
     in
@@ -66,12 +79,12 @@ let run ?alive ?rng ?(samples = 8) ?(local_search_passes = 4) ?(force_heuristic 
       { value = cut.Cut.value; witness = cut.Cut.set; objective; exact = true; lower = Some cut.Cut.value }
     end
     else begin
-      let spectral = Spectral.lambda2 ?alive g in
+      let spectral = Spectral.lambda2 ~obs ?alive g in
       (* sweep the Fiedler pair and two 45-degree rotations: when the
          lambda2 eigenspace is degenerate (square meshes, tori) the
          single power-iteration vector is an arbitrary rotation of the
          axis modes, and one of these four recovers a near-axis cut *)
-      let f1, f2 = Spectral.fiedler_pair ?alive g in
+      let f1, f2 = Spectral.fiedler_pair ~obs ?alive g in
       let rotate a b op = Array.init (Array.length a) (fun i -> op a.(i) b.(i)) in
       let scores =
         [ f1; f2; rotate f1 f2 ( +. ); rotate f1 f2 ( -. ) ]
@@ -104,7 +117,16 @@ let run ?alive ?rng ?(samples = 8) ?(local_search_passes = 4) ?(force_heuristic 
       in
       { value = refined.Cut.value; witness = refined.Cut.set; objective; exact = false; lower }
     end
+  in
+  if on then
+    Fn_obs.Span.exit sp
+      ~fields:
+        [
+          ("value", Fn_obs.Sink.Float result.value);
+          ("exact", Fn_obs.Sink.Bool result.exact);
+        ];
+  result
 
-let node ?alive ?rng g = run ?alive ?rng g Cut.Node
+let node ?obs ?alive ?rng g = run ?obs ?alive ?rng g Cut.Node
 
-let edge ?alive ?rng g = run ?alive ?rng g Cut.Edge
+let edge ?obs ?alive ?rng g = run ?obs ?alive ?rng g Cut.Edge

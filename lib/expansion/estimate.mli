@@ -25,6 +25,7 @@ type t = {
 }
 
 val run :
+  ?obs:Fn_obs.Sink.t ->
   ?alive:Bitset.t ->
   ?rng:Rng.t ->
   ?samples:int ->
@@ -36,7 +37,9 @@ val run :
 (** Defaults: [samples] 8, [local_search_passes] 4, [rng] seeded with
     0xFA17, [force_heuristic] false (use {!Exact} when feasible).
     Requires >= 2 alive nodes.  A disconnected alive set yields value
-    0 with a component witness. *)
+    0 with a component witness.  An enabled [obs] sink wraps the whole
+    estimate in an ["expansion.estimate"] span (with nested spectral
+    spans from {!Spectral}); the default null sink costs nothing. *)
 
-val node : ?alive:Bitset.t -> ?rng:Rng.t -> Graph.t -> t
-val edge : ?alive:Bitset.t -> ?rng:Rng.t -> Graph.t -> t
+val node : ?obs:Fn_obs.Sink.t -> ?alive:Bitset.t -> ?rng:Rng.t -> Graph.t -> t
+val edge : ?obs:Fn_obs.Sink.t -> ?alive:Bitset.t -> ?rng:Rng.t -> Graph.t -> t

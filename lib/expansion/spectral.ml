@@ -90,15 +90,34 @@ let power_iteration ?alive ?(max_iter = 1000) ?(tol = 1e-9) g ~deflate_against =
   in
   (max 0.0 lambda, y, embedding, !iterations)
 
-let lambda2 ?alive ?max_iter ?tol g =
+let lambda2 ?(obs = Fn_obs.Sink.null) ?alive ?max_iter ?tol g =
+  let on = Fn_obs.Sink.enabled obs in
+  let sp = if on then Fn_obs.Span.enter obs "spectral.lambda2" else Fn_obs.Span.null in
   let lambda2, _, fiedler, iterations =
     power_iteration ?alive ?max_iter ?tol g ~deflate_against:[]
   in
+  if on then begin
+    Fn_obs.Span.exit sp
+      ~fields:
+        [
+          ("lambda2", Fn_obs.Sink.Float lambda2);
+          ("iterations", Fn_obs.Sink.Int iterations);
+        ];
+    Fn_obs.Metrics.observe
+      (Fn_obs.Metrics.histogram
+         ~buckets:[| 1.0; 3.0; 10.0; 30.0; 100.0; 300.0; 1000.0 |]
+         "spectral.iterations")
+      (float_of_int iterations)
+  end;
   { lambda2; fiedler; iterations }
 
-let fiedler_pair ?alive ?max_iter ?tol g =
-  let _, y1, f1, _ = power_iteration ?alive ?max_iter ?tol g ~deflate_against:[] in
-  let _, _, f2, _ = power_iteration ?alive ?max_iter ?tol g ~deflate_against:[ y1 ] in
+let fiedler_pair ?(obs = Fn_obs.Sink.null) ?alive ?max_iter ?tol g =
+  let on = Fn_obs.Sink.enabled obs in
+  let sp = if on then Fn_obs.Span.enter obs "spectral.fiedler_pair" else Fn_obs.Span.null in
+  let _, y1, f1, it1 = power_iteration ?alive ?max_iter ?tol g ~deflate_against:[] in
+  let _, _, f2, it2 = power_iteration ?alive ?max_iter ?tol g ~deflate_against:[ y1 ] in
+  if on then
+    Fn_obs.Span.exit sp ~fields:[ ("iterations", Fn_obs.Sink.Int (it1 + it2)) ];
   (f1, f2)
 
 let cheeger_lower r = r.lambda2 /. 2.0

@@ -16,7 +16,8 @@ type result = {
   iterations : int;
 }
 
-val lambda2 : ?alive:Bitset.t -> ?max_iter:int -> ?tol:float -> Graph.t -> result
+val lambda2 :
+  ?obs:Fn_obs.Sink.t -> ?alive:Bitset.t -> ?max_iter:int -> ?tol:float -> Graph.t -> result
 (** Power iteration on 2I - L with deflation of the trivial
     eigenvector; O(max_iter * m).  The alive mask restricts the
     operator to the induced subgraph.  Isolated alive nodes are
@@ -24,7 +25,13 @@ val lambda2 : ?alive:Bitset.t -> ?max_iter:int -> ?tol:float -> Graph.t -> resul
     [alive] should be connected for λ₂ to have its usual meaning.
     Defaults: [max_iter] 1000, [tol] 1e-9. *)
 
-val fiedler_pair : ?alive:Bitset.t -> ?max_iter:int -> ?tol:float -> Graph.t -> float array * float array
+val fiedler_pair :
+  ?obs:Fn_obs.Sink.t ->
+  ?alive:Bitset.t ->
+  ?max_iter:int ->
+  ?tol:float ->
+  Graph.t ->
+  float array * float array
 (** Two orthogonal embeddings spanning the bottom of the spectrum:
     the Fiedler vector and a second vector deflated against it.  When
     λ₂ is (near-)degenerate — e.g. the row and column modes of a

@@ -9,7 +9,9 @@ let adversaries rng =
     ("ball", fun g ~budget -> Adversary.ball_isolation rng g ~budget);
   ]
 
-let run ?(quick = false) ?(seed = 1) () =
+let run (cfg : Workload.config) =
+  let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
+  let obs = cfg.Workload.obs in
   let rng = Rng.create seed in
   let sizes = if quick then [ 256 ] else [ 256; 512; 1024 ] in
   let ks = if quick then [ 2.0 ] else [ 2.0; 4.0 ] in
@@ -22,7 +24,7 @@ let run ?(quick = false) ?(seed = 1) () =
   List.iter
     (fun n ->
       let g = Workload.expander rng ~n ~d:6 in
-      let alpha = Workload.node_expansion_estimate rng g in
+      let alpha = Workload.node_expansion_estimate ~obs rng g in
       List.iter
         (fun k ->
           let f = Faultnet.Theorem.thm21_max_faults ~alpha ~n ~k in
@@ -31,14 +33,14 @@ let run ?(quick = false) ?(seed = 1) () =
               let faults = attack g ~budget:f in
               let alive = faults.Fault_set.alive in
               let epsilon = Faultnet.Theorem.thm21_epsilon ~k in
-              let res = Faultnet.Prune.run ~rng g ~alive ~alpha ~epsilon in
+              let res = Faultnet.Prune.run ~obs ~rng g ~alive ~alpha ~epsilon in
               if not (Faultnet.Prune.verify_certificates g ~alive res) then certs_ok := false;
               let kept = Bitset.cardinal res.Faultnet.Prune.kept in
               let size_bound = Faultnet.Theorem.thm21_min_kept ~alpha ~n ~k ~f in
               let exp_bound = Faultnet.Theorem.thm21_expansion ~alpha ~k in
               let exp_measured =
                 if kept >= 2 then
-                  Workload.node_expansion_estimate rng ~alive:res.Faultnet.Prune.kept g
+                  Workload.node_expansion_estimate ~obs rng ~alive:res.Faultnet.Prune.kept g
                 else 0.0
               in
               let ok =

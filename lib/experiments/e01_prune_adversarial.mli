@@ -7,4 +7,4 @@
     node-expansion(H) >= (1 - 1/k)·α (measured by the heuristic
     estimator, with α the estimator's value on the pristine graph). *)
 
-val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t
+val run : Workload.config -> Outcome.t

@@ -1,7 +1,9 @@
 open Fn_graph
 open Fn_prng
 
-let run ?(quick = false) ?(seed = 2) () =
+let run (cfg : Workload.config) =
+  let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
+  let obs = cfg.Workload.obs in
   let rng = Rng.create seed in
   let base_n = if quick then 32 else 64 in
   let ks = [ 2; 4; 8; 16 ] in
@@ -14,7 +16,7 @@ let run ?(quick = false) ?(seed = 2) () =
     (fun k ->
       let cg = Fn_topology.Chain_graph.build base ~k in
       let h = cg.Fn_topology.Chain_graph.graph in
-      let alpha = Workload.node_expansion_estimate rng h in
+      let alpha = Workload.node_expansion_estimate ~obs rng h in
       points := (float_of_int k, alpha) :: !points;
       Fn_stats.Table.add_row table
         [

@@ -5,4 +5,4 @@
     lengths and checks that (measured expansion)·k stays within a
     constant window, i.e. the log-log slope of expansion vs k is ≈ -1. *)
 
-val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t
+val run : Workload.config -> Outcome.t

@@ -2,7 +2,8 @@ open Fn_graph
 open Fn_prng
 open Fn_faults
 
-let run ?(quick = false) ?(seed = 3) () =
+let run (cfg : Workload.config) =
+  let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
   let rng = Rng.create seed in
   let base_n = if quick then 32 else 64 in
   let d = 4 in

@@ -7,4 +7,4 @@
     post-attack component bound δk/2 + 1 at full budget and (b) the
     same number of random faults on the chain graph. *)
 
-val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t
+val run : Workload.config -> Outcome.t

@@ -1,7 +1,8 @@
 open Fn_prng
 open Fn_faults
 
-let run ?(quick = false) ?(seed = 4) () =
+let run (cfg : Workload.config) =
+  let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
   let rng = Rng.create seed in
   let sides = if quick then [ 16 ] else [ 16; 24; 32 ] in
   let epsilon = 0.125 in

@@ -6,4 +6,4 @@
     (b) the number of faults spent stays below the theorem's budget
     shape C·log(1/ε)/ε·α(n)·n for a modest constant C. *)
 
-val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t
+val run : Workload.config -> Outcome.t

@@ -1,7 +1,8 @@
 open Fn_prng
 open Fn_faults
 
-let run ?(quick = false) ?(seed = 5) () =
+let run (cfg : Workload.config) =
+  let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
   let rng = Rng.create seed in
   let base_n = if quick then 32 else 64 in
   let d = 4 in

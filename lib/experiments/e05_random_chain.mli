@@ -7,4 +7,4 @@
     to the base expander: the chain graph's largest component
     collapses while the expander's stays near 1 - p. *)
 
-val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t
+val run : Workload.config -> Outcome.t

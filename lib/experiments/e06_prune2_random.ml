@@ -2,7 +2,9 @@ open Fn_graph
 open Fn_prng
 open Fn_faults
 
-let run ?(quick = false) ?(seed = 6) () =
+let run (cfg : Workload.config) =
+  let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
+  let obs = cfg.Workload.obs in
   let rng = Rng.create seed in
   let configs = if quick then [ (2, 16) ] else [ (2, 16); (3, 7) ] in
   let table =
@@ -19,13 +21,13 @@ let run ?(quick = false) ?(seed = 6) () =
       let sigma = Faultnet.Theorem.thm36_mesh_span in
       let p_thy = Faultnet.Theorem.thm34_max_fault_probability ~delta ~sigma in
       let epsilon = Faultnet.Theorem.thm34_max_epsilon ~delta in
-      let alpha_e = Workload.edge_expansion_estimate rng g in
+      let alpha_e = Workload.edge_expansion_estimate ~obs rng g in
       let ps = [ p_thy; 0.01; 0.05; 0.10; 0.20 ] in
       List.iter
         (fun p ->
           let faults = Random_faults.nodes_iid rng g p in
           let res =
-            Faultnet.Prune2.run ~rng g ~alive:faults.Fault_set.alive ~alpha_e ~epsilon
+            Faultnet.Prune2.run ~obs ~rng g ~alive:faults.Fault_set.alive ~alpha_e ~epsilon
           in
           if not (Faultnet.Prune2.verify_certificates g ~alive:faults.Fault_set.alive res)
           then certs_ok := false;
@@ -34,7 +36,7 @@ let run ?(quick = false) ?(seed = 6) () =
           let exp_target = epsilon *. alpha_e in
           let exp_measured =
             if kept >= 2 then
-              Workload.edge_expansion_estimate rng ~alive:res.Faultnet.Prune2.kept g
+              Workload.edge_expansion_estimate ~obs rng ~alive:res.Faultnet.Prune2.kept g
             else 0.0
           in
           let holds = float_of_int kept >= target && exp_measured >= exp_target -. 1e-9 in

@@ -8,4 +8,4 @@
     interesting measurement is how far beyond it the guarantee keeps
     holding — the experiment reports that crossover. *)
 
-val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t
+val run : Workload.config -> Outcome.t

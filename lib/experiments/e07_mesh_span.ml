@@ -2,7 +2,8 @@ open Fn_prng
 
 let dims_label dims = String.concat "x" (Array.to_list (Array.map string_of_int dims))
 
-let run ?(quick = false) ?(seed = 7) () =
+let run (cfg : Workload.config) =
+  let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
   let rng = Rng.create seed in
   let exact_meshes =
     if quick then [ [| 3; 3 |]; [| 2; 2; 2 |] ]

@@ -7,4 +7,4 @@
     which must produce a connected (B, E_v) (Lemma 3.7) and a tree of
     at most 2(|B| - 1) mesh edges, every single time. *)
 
-val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t
+val run : Workload.config -> Outcome.t

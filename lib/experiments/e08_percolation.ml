@@ -1,7 +1,9 @@
 open Fn_prng
 open Fn_percolation
 
-let run ?(quick = false) ?(seed = 8) () =
+let run (cfg : Workload.config) =
+  let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
+  let obs = cfg.Workload.obs in
   let rng = Rng.create seed in
   let runs = if quick then 8 else 32 in
   let n_complete = if quick then 128 else 256 in
@@ -33,7 +35,7 @@ let run ?(quick = false) ?(seed = 8) () =
   let all_ok = ref true in
   List.iter
     (fun (name, g, p_theory, formula) ->
-      let r = Threshold.estimate ~runs ~rng Threshold.Bond g in
+      let r = Threshold.estimate ~obs ?domains:cfg.Workload.domains ~runs ~rng Threshold.Bond g in
       let ratio = r.Threshold.p_star /. p_theory in
       (* the gamma-level constant and finite size shift the crossing;
          a factor-2.5 window separates the families cleanly (their

@@ -8,4 +8,4 @@
     the theory values — finite-size effects and the γ-level constant
     preclude equality. *)
 
-val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t
+val run : Workload.config -> Outcome.t

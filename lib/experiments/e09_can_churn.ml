@@ -2,7 +2,9 @@ open Fn_graph
 open Fn_prng
 open Fn_faults
 
-let run ?(quick = false) ?(seed = 9) () =
+let run (cfg : Workload.config) =
+  let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
+  let obs = cfg.Workload.obs in
   let rng = Rng.create seed in
   let n = if quick then 128 else 256 in
   let dims = if quick then [ 2 ] else [ 2; 3; 4 ] in
@@ -18,13 +20,13 @@ let run ?(quick = false) ?(seed = 9) () =
   let eval name g d =
     let nn = Graph.num_nodes g in
     let delta = Graph.max_degree g in
-    let alpha_e = Workload.edge_expansion_estimate rng g in
+    let alpha_e = Workload.edge_expansion_estimate ~obs rng g in
     let epsilon = min (Faultnet.Theorem.thm34_max_epsilon ~delta) 0.45 in
     let faults = Random_faults.nodes_iid rng g p in
-    let res = Faultnet.Prune2.run ~rng g ~alive:faults.Fault_set.alive ~alpha_e ~epsilon in
+    let res = Faultnet.Prune2.run ~obs ~rng g ~alive:faults.Fault_set.alive ~alpha_e ~epsilon in
     let kept = Bitset.cardinal res.Faultnet.Prune2.kept in
     let exp_h =
-      if kept >= 2 then Workload.edge_expansion_estimate rng ~alive:res.Faultnet.Prune2.kept g
+      if kept >= 2 then Workload.edge_expansion_estimate ~obs rng ~alive:res.Faultnet.Prune2.kept g
       else 0.0
     in
     let ratio = exp_h /. alpha_e in

@@ -8,4 +8,4 @@
     torus of matching size is reported alongside, confirming the
     "CAN ≈ mesh in steady state" premise. *)
 
-val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t
+val run : Workload.config -> Outcome.t

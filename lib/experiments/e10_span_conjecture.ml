@@ -1,6 +1,7 @@
 open Fn_prng
 
-let run ?(quick = false) ?(seed = 10) () =
+let run (cfg : Workload.config) =
+  let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
   let rng = Rng.create seed in
   let samples = if quick then 60 else 200 in
   let families =

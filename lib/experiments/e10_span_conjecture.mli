@@ -6,4 +6,4 @@
     non-growing maximum across sizes supports the conjecture (this is
     a lower estimate of the true span — supporting, not proving). *)
 
-val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t
+val run : Workload.config -> Outcome.t

@@ -3,7 +3,8 @@ open Fn_prng
 open Fn_faults
 open Fn_routing
 
-let run ?(quick = false) ?(seed = 11) () =
+let run (cfg : Workload.config) =
+  let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
   let rng = Rng.create seed in
   let n_exp = if quick then 256 else 512 in
   let base_n = if quick then 32 else 64 in

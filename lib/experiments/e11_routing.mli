@@ -9,4 +9,4 @@
     mean stretch vs the fault-free routing, static congestion, and the
     store-and-forward makespan. *)
 
-val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t
+val run : Workload.config -> Outcome.t

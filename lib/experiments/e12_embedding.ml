@@ -2,12 +2,14 @@ open Fn_graph
 open Fn_prng
 open Fn_faults
 
-let run ?(quick = false) ?(seed = 12) () =
+let run (cfg : Workload.config) =
+  let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
+  let obs = cfg.Workload.obs in
   let rng = Rng.create seed in
   let side = if quick then 16 else 24 in
   let g, _ = Fn_topology.Mesh.cube ~d:2 ~side in
   let n = Graph.num_nodes g in
-  let alpha_e = Workload.edge_expansion_estimate rng g in
+  let alpha_e = Workload.edge_expansion_estimate ~obs rng g in
   let epsilon = 0.125 in
   let ps = [ 0.01; 0.05; 0.10; 0.15 ] in
   let table =
@@ -18,7 +20,7 @@ let run ?(quick = false) ?(seed = 12) () =
   List.iter
     (fun p ->
       let faults = Random_faults.nodes_iid rng g p in
-      let res = Faultnet.Prune2.run ~rng g ~alive:faults.Fault_set.alive ~alpha_e ~epsilon in
+      let res = Faultnet.Prune2.run ~obs ~rng g ~alive:faults.Fault_set.alive ~alpha_e ~epsilon in
       let kept = res.Faultnet.Prune2.kept in
       let emb = Faultnet.Embedding.self_embed g ~kept in
       let bound = Faultnet.Embedding.slowdown_bound emb in

@@ -9,4 +9,4 @@
     the bound stays flat and small for p well past the paper's
     worst-case budget. *)
 
-val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t
+val run : Workload.config -> Outcome.t

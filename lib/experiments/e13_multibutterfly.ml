@@ -50,7 +50,8 @@ let serving_fraction g alive ~rows inputs outputs =
     if !alive_inputs = 0 then 0.0 else float_of_int !good /. float_of_int !alive_inputs
   end
 
-let run ?(quick = false) ?(seed = 13) () =
+let run (cfg : Workload.config) =
+  let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
   let rng = Rng.create seed in
   let k = if quick then 5 else 6 in
   let trials = if quick then 3 else 5 in

@@ -9,4 +9,4 @@
     the fraction of inputs that can still reach at least half the
     surviving outputs. *)
 
-val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t
+val run : Workload.config -> Outcome.t

@@ -2,7 +2,9 @@ open Fn_graph
 open Fn_prng
 open Fn_faults
 
-let run ?(quick = false) ?(seed = 14) () =
+let run (cfg : Workload.config) =
+  let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
+  let obs = cfg.Workload.obs in
   let rng = Rng.create seed in
   let side = if quick then 12 else 16 in
   let snapshots = if quick then 6 else 10 in
@@ -10,7 +12,7 @@ let run ?(quick = false) ?(seed = 14) () =
   let n = Graph.num_nodes g in
   let rate_fail = 0.1 and rate_repair = 0.9 in
   let stationary = Churn.stationary_dead_fraction ~rate_fail ~rate_repair in
-  let alpha_e = Workload.edge_expansion_estimate rng g in
+  let alpha_e = Workload.edge_expansion_estimate ~obs rng g in
   let epsilon = Faultnet.Theorem.thm34_max_epsilon ~delta:(Graph.max_degree g) in
   let table =
     Fn_stats.Table.create [ "time"; "dead"; "gamma"; "kept"; "survivor exp"; "exp ratio" ]
@@ -22,11 +24,11 @@ let run ?(quick = false) ?(seed = 14) () =
       let alive = snap.Churn.faults.Fault_set.alive in
       if Bitset.cardinal alive >= 2 then begin
         let gamma = Workload.gamma_of_alive g alive in
-        let res = Faultnet.Prune2.run ~rng g ~alive ~alpha_e ~epsilon in
+        let res = Faultnet.Prune2.run ~obs ~rng g ~alive ~alpha_e ~epsilon in
         let kept = Bitset.cardinal res.Faultnet.Prune2.kept in
         let exp_h =
           if kept >= 2 then
-            Workload.edge_expansion_estimate rng ~alive:res.Faultnet.Prune2.kept g
+            Workload.edge_expansion_estimate ~obs rng ~alive:res.Faultnet.Prune2.kept g
           else 0.0
         in
         let ratio = exp_h /. alpha_e in

@@ -8,4 +8,4 @@
     well-expanding core; the trajectory view checks that this holds
     *sustained* — the minimum over time, not just the mean. *)
 
-val run : ?quick:bool -> ?seed:int -> unit -> Outcome.t
+val run : Workload.config -> Outcome.t

@@ -19,3 +19,32 @@ let render t =
     t.checks;
   List.iter (fun note -> Buffer.add_string buf (Printf.sprintf "  note: %s\n" note)) t.notes;
   Buffer.contents buf
+
+let to_json t =
+  let open Fn_obs.Jsonx in
+  let str s = Str s in
+  to_string
+    (Obj
+       [
+         ("id", Str t.id);
+         ("title", Str t.title);
+         ("passed", Bool (all_passed t));
+         ( "table",
+           Obj
+             [
+               ("headers", List (List.map str (Fn_stats.Table.headers t.table)));
+               ( "rows",
+                 List
+                   (List.map
+                      (fun row -> List (List.map str row))
+                      (Fn_stats.Table.rows t.table)) );
+             ] );
+         ( "checks",
+           List
+             (List.map
+                (fun (name, ok) -> Obj [ ("name", Str name); ("ok", Bool ok) ])
+                t.checks) );
+         ("notes", List (List.map str t.notes));
+       ])
+
+let to_csv t = Fn_stats.Table.to_csv t.table

@@ -12,3 +12,14 @@ val all_passed : t -> bool
 
 val render : t -> string
 (** Title, table, check list, notes — ready to print. *)
+
+val to_json : t -> string
+(** One compact JSON object:
+    [{"id":...,"title":...,"passed":...,
+      "table":{"headers":[...],"rows":[[...],...]},
+      "checks":[{"name":...,"ok":...},...],"notes":[...]}]
+    — the payload behind [bin/experiments.exe --json]. *)
+
+val to_csv : t -> string
+(** The result table as CSV (headers then data rows); checks and
+    notes are not part of the CSV. *)

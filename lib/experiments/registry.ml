@@ -1,7 +1,7 @@
 type entry = {
   id : string;
   title : string;
-  run : ?quick:bool -> ?seed:int -> unit -> Outcome.t;
+  run : Workload.config -> Outcome.t;
 }
 
 let all =

@@ -4,11 +4,13 @@
 type entry = {
   id : string;
   title : string;
-  run : ?quick:bool -> ?seed:int -> unit -> Outcome.t;
+  run : Workload.config -> Outcome.t;
+      (** Every experiment takes the one {!Workload.config} record
+          (quick mode, seed, parallelism, observability sink). *)
 }
 
 val all : entry list
-(** E1 through E10, in order. *)
+(** E1 through E14, in order. *)
 
 val find : string -> entry option
 (** Case-insensitive lookup by id ("e3" finds E3). *)

@@ -1,5 +1,17 @@
 open Fn_graph
 
+type config = {
+  quick : bool;
+  seed : int;
+  domains : int option;
+  obs : Fn_obs.Sink.t;
+}
+
+let default = { quick = false; seed = 0; domains = None; obs = Fn_obs.Sink.null }
+
+let config ?(quick = false) ?(seed = 0) ?domains ?(obs = Fn_obs.Sink.null) () =
+  { quick; seed; domains; obs }
+
 let expander rng ~n ~d = Fn_topology.Expander.random_regular rng ~n ~d
 
 let gamma_of_alive g alive =
@@ -10,11 +22,13 @@ let gamma_of_alive g alive =
     float_of_int (Components.largest_size comps) /. float_of_int n
   end
 
-let node_expansion_estimate rng ?alive g =
-  (Fn_expansion.Estimate.run ?alive ~rng g Fn_expansion.Cut.Node).Fn_expansion.Estimate.value
+let node_expansion_estimate ?obs rng ?alive g =
+  (Fn_expansion.Estimate.run ?obs ?alive ~rng g Fn_expansion.Cut.Node)
+    .Fn_expansion.Estimate.value
 
-let edge_expansion_estimate rng ?alive g =
-  (Fn_expansion.Estimate.run ?alive ~rng g Fn_expansion.Cut.Edge).Fn_expansion.Estimate.value
+let edge_expansion_estimate ?obs rng ?alive g =
+  (Fn_expansion.Estimate.run ?obs ?alive ~rng g Fn_expansion.Cut.Edge)
+    .Fn_expansion.Estimate.value
 
 let mean_of xs =
   match xs with

@@ -1,7 +1,24 @@
 open Fn_graph
 open Fn_prng
 
-(** Shared workload builders and measurement helpers for E1-E10. *)
+(** Shared run configuration, workload builders and measurement
+    helpers for E1-E14. *)
+
+type config = {
+  quick : bool;  (** shrink sizes / trial counts for CI *)
+  seed : int;  (** root seed; every experiment derives its RNG from it *)
+  domains : int option;  (** parallelism cap for {!Fn_parallel.Par} call sites *)
+  obs : Fn_obs.Sink.t;  (** observability sink; {!Fn_obs.Sink.null} = off *)
+}
+(** The single argument every experiment's [run] takes (the old
+    [?quick ?seed] optional pair, made explicit and extensible). *)
+
+val default : config
+(** [{quick = false; seed = 0; domains = None; obs = Sink.null}] *)
+
+val config :
+  ?quick:bool -> ?seed:int -> ?domains:int -> ?obs:Fn_obs.Sink.t -> unit -> config
+(** Keyword constructor over {!default}. *)
 
 val expander : Rng.t -> n:int -> d:int -> Graph.t
 (** Connected random d-regular graph — the stand-in for the paper's
@@ -10,10 +27,12 @@ val expander : Rng.t -> n:int -> d:int -> Graph.t
 val gamma_of_alive : Graph.t -> Bitset.t -> float
 (** Largest alive component size / original node count. *)
 
-val node_expansion_estimate : Rng.t -> ?alive:Bitset.t -> Graph.t -> float
+val node_expansion_estimate :
+  ?obs:Fn_obs.Sink.t -> Rng.t -> ?alive:Bitset.t -> Graph.t -> float
 (** Portfolio upper-bound estimate (see {!Fn_expansion.Estimate}). *)
 
-val edge_expansion_estimate : Rng.t -> ?alive:Bitset.t -> Graph.t -> float
+val edge_expansion_estimate :
+  ?obs:Fn_obs.Sink.t -> Rng.t -> ?alive:Bitset.t -> Graph.t -> float
 
 val mean_of : float list -> float
 

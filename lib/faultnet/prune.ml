@@ -9,7 +9,7 @@ type result = {
   threshold : float;
 }
 
-let run ?finder ?rng g ~alive ~alpha ~epsilon =
+let run ?(obs = Fn_obs.Sink.null) ?finder ?rng g ~alive ~alpha ~epsilon =
   if alpha <= 0.0 then invalid_arg "Prune.run: alpha must be positive";
   if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Prune.run: need 0 < epsilon < 1";
   let finder =
@@ -18,6 +18,19 @@ let run ?finder ?rng g ~alive ~alpha ~epsilon =
     | None -> Low_expansion.default ?rng Fn_expansion.Cut.Node
   in
   let threshold = alpha *. epsilon in
+  let on = Fn_obs.Sink.enabled obs in
+  let sp =
+    if on then
+      Fn_obs.Span.enter obs "prune.run"
+        ~fields:
+          [
+            ("alive", Fn_obs.Sink.Int (Bitset.cardinal alive));
+            ("alpha", Fn_obs.Sink.Float alpha);
+            ("epsilon", Fn_obs.Sink.Float epsilon);
+            ("threshold", Fn_obs.Sink.Float threshold);
+          ]
+    else Fn_obs.Span.null
+  in
   let current = Bitset.copy alive in
   let culled = ref [] in
   let iterations = ref 0 in
@@ -34,8 +47,28 @@ let run ?finder ?rng g ~alive ~alpha ~epsilon =
         assert (size >= 1);
         assert (Bitset.subset s current);
         culled := { set = s; size; boundary } :: !culled;
-        Bitset.diff_into current s
+        Bitset.diff_into current s;
+        if on then begin
+          Fn_obs.Span.instant obs "prune.round"
+            ~fields:
+              [
+                ("round", Fn_obs.Sink.Int !iterations);
+                ("culled", Fn_obs.Sink.Int size);
+                ("boundary", Fn_obs.Sink.Int boundary);
+                ("ratio", Fn_obs.Sink.Float (float_of_int boundary /. float_of_int size));
+                ("survivors", Fn_obs.Sink.Int (Bitset.cardinal current));
+              ];
+          Fn_obs.Metrics.incr (Fn_obs.Metrics.counter "prune.rounds");
+          Fn_obs.Metrics.add (Fn_obs.Metrics.counter "prune.culled_nodes") size
+        end
   done;
+  if on then
+    Fn_obs.Span.exit sp
+      ~fields:
+        [
+          ("iterations", Fn_obs.Sink.Int !iterations);
+          ("kept", Fn_obs.Sink.Int (Bitset.cardinal current));
+        ];
   { kept = current; culled = List.rev !culled; iterations = !iterations; threshold }
 
 let total_culled r = List.fold_left (fun acc c -> acc + c.size) 0 r.culled

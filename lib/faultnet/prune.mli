@@ -31,6 +31,7 @@ type result = {
 }
 
 val run :
+  ?obs:Fn_obs.Sink.t ->
   ?finder:Low_expansion.t ->
   ?rng:Rng.t ->
   Graph.t ->
@@ -39,7 +40,12 @@ val run :
   epsilon:float ->
   result
 (** [run g ~alive ~alpha ~epsilon] executes Prune(ε) with threshold
-    α·ε.  Requires [alpha > 0] and [0 < epsilon < 1]. *)
+    α·ε.  Requires [alpha > 0] and [0 < epsilon < 1].
+
+    With an enabled [obs] sink the run is wrapped in a ["prune.run"]
+    span and every cull emits a ["prune.round"] instant (culled size,
+    measured boundary ratio, survivor count); with the default null
+    sink no clock is read and nothing is allocated. *)
 
 val total_culled : result -> int
 

@@ -38,7 +38,7 @@ let best_connected_piece ~alive g s threshold =
     | _ -> None
   end
 
-let run ?finder ?rng g ~alive ~alpha_e ~epsilon =
+let run ?(obs = Fn_obs.Sink.null) ?finder ?rng g ~alive ~alpha_e ~epsilon =
   if alpha_e <= 0.0 then invalid_arg "Prune2.run: alpha_e must be positive";
   if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Prune2.run: need 0 < epsilon < 1";
   let finder =
@@ -47,6 +47,19 @@ let run ?finder ?rng g ~alive ~alpha_e ~epsilon =
     | None -> Low_expansion.default ?rng Fn_expansion.Cut.Edge
   in
   let threshold = alpha_e *. epsilon in
+  let on = Fn_obs.Sink.enabled obs in
+  let sp =
+    if on then
+      Fn_obs.Span.enter obs "prune2.run"
+        ~fields:
+          [
+            ("alive", Fn_obs.Sink.Int (Bitset.cardinal alive));
+            ("alpha_e", Fn_obs.Sink.Float alpha_e);
+            ("epsilon", Fn_obs.Sink.Float epsilon);
+            ("threshold", Fn_obs.Sink.Float threshold);
+          ]
+    else Fn_obs.Span.null
+  in
   let current = Bitset.copy alive in
   let culled = ref [] in
   let iterations = ref 0 in
@@ -65,8 +78,29 @@ let run ?finder ?rng g ~alive ~alpha_e ~epsilon =
           let size = Bitset.cardinal k in
           let edge_boundary = Boundary.edge_boundary_size ~alive:current g k in
           culled := { found = s; compacted = k; size; edge_boundary } :: !culled;
-          Bitset.diff_into current k)
+          Bitset.diff_into current k;
+          if on then begin
+            Fn_obs.Span.instant obs "prune2.round"
+              ~fields:
+                [
+                  ("round", Fn_obs.Sink.Int !iterations);
+                  ("culled", Fn_obs.Sink.Int size);
+                  ("edge_boundary", Fn_obs.Sink.Int edge_boundary);
+                  ( "ratio",
+                    Fn_obs.Sink.Float (float_of_int edge_boundary /. float_of_int size) );
+                  ("survivors", Fn_obs.Sink.Int (Bitset.cardinal current));
+                ];
+            Fn_obs.Metrics.incr (Fn_obs.Metrics.counter "prune2.rounds");
+            Fn_obs.Metrics.add (Fn_obs.Metrics.counter "prune2.culled_nodes") size
+          end)
   done;
+  if on then
+    Fn_obs.Span.exit sp
+      ~fields:
+        [
+          ("iterations", Fn_obs.Sink.Int !iterations);
+          ("kept", Fn_obs.Sink.Int (Bitset.cardinal current));
+        ];
   { kept = current; culled = List.rev !culled; iterations = !iterations; threshold }
 
 let total_culled r = List.fold_left (fun acc c -> acc + c.size) 0 r.culled

@@ -27,6 +27,7 @@ type result = {
 }
 
 val run :
+  ?obs:Fn_obs.Sink.t ->
   ?finder:Low_expansion.t ->
   ?rng:Rng.t ->
   Graph.t ->
@@ -37,7 +38,12 @@ val run :
 (** Requires [alpha_e > 0] and [0 < epsilon < 1].  The finder's
     witness is split into connected components if necessary (one of
     them always satisfies the threshold, by the mediant inequality)
-    before compactification. *)
+    before compactification.
+
+    With an enabled [obs] sink the run is wrapped in a ["prune2.run"]
+    span and every cull emits a ["prune2.round"] instant (culled size,
+    measured edge-boundary ratio, survivor count); the default null
+    sink costs nothing. *)
 
 val total_culled : result -> int
 

@@ -254,7 +254,53 @@ let no_print_in_lib =
   rule
 
 (* ------------------------------------------------------------------ *)
-(* 6. no-todo-naked                                                    *)
+(* 6. no-raw-timing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* [Module.function] pairs that read wall/CPU clocks directly.  All
+   timing must flow through lib/obs (Fn_obs.Clock): it is monotone
+   (raw gettimeofday can step backwards under NTP) and keeps the
+   zero-cost-when-disabled discipline auditable in one place. *)
+let raw_timing_calls = [ ("Sys", [ "time" ]); ("Unix", [ "gettimeofday"; "time"; "times" ]) ]
+
+let no_raw_timing =
+  let rec check rule ctx i acc =
+    let c = ctx.code in
+    if i >= Array.length c then List.rev acc
+    else
+      let acc =
+        match c.(i) with
+        | { kind = Token.Uident; text; _ }
+          when (not (qualified c i)) && is_dot c (i + 1) -> (
+            match List.assoc_opt text raw_timing_calls with
+            | Some fns
+              when (match tok c (i + 2) with
+                   | Some { kind = Token.Ident; text = fn; _ } -> List.mem fn fns
+                   | _ -> false) ->
+                finding rule ctx
+                  ~message:
+                    "raw clock read bypasses lib/obs; use Fn_obs.Clock (monotone, \
+                     nanosecond) or emit through an Fn_obs.Sink so timing stays \
+                     zero-cost when observability is off"
+                  c.(i)
+                :: acc
+            | _ -> acc)
+        | _ -> acc
+      in
+      check rule ctx (i + 1) acc
+  in
+  let rec rule =
+    {
+      name = "no-raw-timing";
+      severity = Error;
+      doc = "no Sys.time/Unix.gettimeofday outside lib/obs; use Fn_obs.Clock";
+      check = (fun ctx -> if is_ml ctx.path then check rule ctx 0 [] else []);
+    }
+  in
+  rule
+
+(* ------------------------------------------------------------------ *)
+(* 7. no-todo-naked                                                    *)
 (* ------------------------------------------------------------------ *)
 
 let no_todo_naked =
@@ -335,6 +381,7 @@ let all =
     no_catchall_exn;
     mli_required;
     no_print_in_lib;
+    no_raw_timing;
     no_todo_naked;
   ]
 
@@ -352,6 +399,9 @@ let allowlist =
     (* designated reporter modules: rendering tables / experiment
        outcomes to stdout is their whole job *)
     ("no-print-in-lib", [ Basename "table.ml"; Basename "report.ml"; Basename "outcome.ml" ]);
+    (* the observability clock is the one legal wrapper over the raw
+       OS clock; everything else times through it *)
+    ("no-raw-timing", [ Prefix "lib/obs/" ]);
   ]
 
 let allowed ~rule ~path =

@@ -19,6 +19,11 @@ val no_print_in_lib : Rule.t
 (** Forbid [Printf.printf]/[print_endline]/... in [lib/] outside the
     reporter allowlist. *)
 
+val no_raw_timing : Rule.t
+(** Forbid [Sys.time]/[Unix.gettimeofday]/[Unix.time]/[Unix.times]
+    outside [lib/obs/]: all timing flows through the monotone
+    [Fn_obs.Clock]. *)
+
 val no_todo_naked : Rule.t
 (** [TODO]/[FIXME] must carry an owner ([TODO(name)]) or an issue tag
     ([#123]). Warning severity. *)

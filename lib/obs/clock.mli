@@ -1,0 +1,18 @@
+(** Monotone (non-decreasing) wall-clock readings for the
+    observability layer.
+
+    All timing in this repository must flow through this module so
+    that traces, metrics and reported durations share one clock — the
+    [no-raw-timing] lint rule forbids [Sys.time] / [Unix.gettimeofday]
+    everywhere outside [lib/obs]. *)
+
+val now_ns : unit -> int
+(** Current time in integer nanoseconds.  Monotone non-decreasing
+    within the process (a backwards system-clock step repeats the last
+    reading); safe to call from any domain. *)
+
+val ns_to_s : int -> float
+(** Nanoseconds to seconds. *)
+
+val elapsed_s : since_ns:int -> float
+(** Seconds elapsed since an earlier {!now_ns} reading. *)

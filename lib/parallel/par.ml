@@ -2,7 +2,7 @@ let default_domains () =
   let n = Domain.recommended_domain_count () in
   max 1 (min 8 n)
 
-let map ?domains f a =
+let map ?(obs = Fn_obs.Sink.null) ?domains f a =
   let n = Array.length a in
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
   let workers = min domains n in
@@ -10,22 +10,45 @@ let map ?domains f a =
   else begin
     let out = Array.make n None in
     let chunk = (n + workers - 1) / workers in
+    let seconds = Array.make workers 0.0 in
     let run_chunk w () =
+      let start_ns = if Fn_obs.Sink.enabled obs then Fn_obs.Clock.now_ns () else 0 in
       let lo = w * chunk in
       let hi = min n (lo + chunk) - 1 in
       for i = lo to hi do
         out.(i) <- Some (f a.(i))
-      done
+      done;
+      if Fn_obs.Sink.enabled obs then begin
+        let dt = Fn_obs.Clock.elapsed_s ~since_ns:start_ns in
+        seconds.(w) <- dt;
+        Fn_obs.Span.instant obs "par.domain"
+          ~fields:
+            [
+              ("domain", Fn_obs.Sink.Int w);
+              ("lo", Fn_obs.Sink.Int lo);
+              ("hi", Fn_obs.Sink.Int hi);
+              ("seconds", Fn_obs.Sink.Float dt);
+            ]
+      end
     in
     let handles = Array.init workers (fun w -> Domain.spawn (run_chunk w)) in
     Array.iter Domain.join handles;
+    if Fn_obs.Sink.enabled obs then begin
+      let slowest = Array.fold_left max 0.0 seconds in
+      let mean = Array.fold_left ( +. ) 0.0 seconds /. float_of_int workers in
+      Fn_obs.Metrics.set (Fn_obs.Metrics.gauge "par.domains") (float_of_int workers);
+      Fn_obs.Metrics.set (Fn_obs.Metrics.gauge "par.max_seconds") slowest;
+      Fn_obs.Metrics.set
+        (Fn_obs.Metrics.gauge "par.imbalance")
+        (if mean > 0.0 then slowest /. mean else 1.0)
+    end;
     Array.map
       (function Some v -> v | None -> assert false)
       out
   end
 
-let init ?domains n f = map ?domains f (Array.init n Fun.id)
+let init ?obs ?domains n f = map ?obs ?domains f (Array.init n Fun.id)
 
-let trials ?domains ~rng n job =
+let trials ?obs ?domains ~rng n job =
   let rngs = Fn_prng.Rng.split_n rng n in
-  map ?domains job rngs
+  map ?obs ?domains job rngs

@@ -10,17 +10,28 @@ val default_domains : unit -> int
 (** Number of domains to use by default: the runtime's recommended
     count, clamped to [1, 8].  Override per call with [?domains]. *)
 
-val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+val map : ?obs:Fn_obs.Sink.t -> ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map f a] applies [f] to every element, distributing contiguous
     chunks over domains.  Result order matches input order.  [f] must
     not rely on shared mutable state.  Falls back to sequential
-    execution when [domains <= 1] or the array is small. *)
+    execution when [domains <= 1] or the array is small.
 
-val init : ?domains:int -> int -> (int -> 'b) -> 'b array
+    With an enabled [obs] sink each worker emits a ["par.domain"]
+    instant (chunk bounds and wall seconds) and the fork-join sets the
+    [par.domains] / [par.max_seconds] / [par.imbalance] gauges in
+    {!Fn_obs.Metrics.default}; instrumentation never changes results. *)
+
+val init : ?obs:Fn_obs.Sink.t -> ?domains:int -> int -> (int -> 'b) -> 'b array
 (** [init n f] is [map f [|0; ...; n-1|]] without building the input
     array. *)
 
-val trials : ?domains:int -> rng:Fn_prng.Rng.t -> int -> (Fn_prng.Rng.t -> 'b) -> 'b array
+val trials :
+  ?obs:Fn_obs.Sink.t ->
+  ?domains:int ->
+  rng:Fn_prng.Rng.t ->
+  int ->
+  (Fn_prng.Rng.t -> 'b) ->
+  'b array
 (** [trials ~rng n job] runs [job] [n] times, each with an independent
     generator split from [rng].  The split happens sequentially before
     any domain is spawned, so the result is identical whatever the

@@ -3,7 +3,25 @@ open Fn_prng
 
 type curve = { occupied_largest : int array; total : int; n : int }
 
-let site_run rng g =
+let sweep_done obs kind start_ns c =
+  if Fn_obs.Sink.enabled obs then begin
+    Fn_obs.Span.instant obs "percolation.sweep"
+      ~fields:
+        [
+          ("kind", Fn_obs.Sink.Str kind);
+          ("total", Fn_obs.Sink.Int c.total);
+          ("n", Fn_obs.Sink.Int c.n);
+          ( "largest",
+            Fn_obs.Sink.Int
+              (if c.total = 0 then 1 else c.occupied_largest.(c.total - 1)) );
+          ("seconds", Fn_obs.Sink.Float (Fn_obs.Clock.elapsed_s ~since_ns:start_ns));
+        ];
+    Fn_obs.Metrics.incr (Fn_obs.Metrics.counter "percolation.sweeps")
+  end;
+  c
+
+let site_run ?(obs = Fn_obs.Sink.null) rng g =
+  let start_ns = if Fn_obs.Sink.enabled obs then Fn_obs.Clock.now_ns () else 0 in
   let n = Graph.num_nodes g in
   let order = Rng.permutation rng n in
   let uf = Union_find.create n in
@@ -15,9 +33,10 @@ let site_run rng g =
       Graph.iter_neighbors g v (fun w -> if occupied.(w) then ignore (Union_find.union uf v w));
       out.(k) <- Union_find.max_component_size uf)
     order;
-  { occupied_largest = out; total = n; n }
+  sweep_done obs "site" start_ns { occupied_largest = out; total = n; n }
 
-let bond_run rng g =
+let bond_run ?(obs = Fn_obs.Sink.null) rng g =
+  let start_ns = if Fn_obs.Sink.enabled obs then Fn_obs.Clock.now_ns () else 0 in
   let n = Graph.num_nodes g in
   let edges = Graph.edges g in
   let m = Array.length edges in
@@ -29,7 +48,7 @@ let bond_run rng g =
       ignore (Union_find.union uf u v);
       out.(k) <- Union_find.max_component_size uf)
     edges;
-  { occupied_largest = out; total = m; n }
+  sweep_done obs "bond" start_ns { occupied_largest = out; total = m; n }
 
 let gamma_at c p =
   if p < 0.0 || p > 1.0 then invalid_arg "Newman_ziff.gamma_at: p out of [0,1]";
@@ -43,9 +62,9 @@ let gamma_at c p =
     end
   end
 
-let average_gamma ?domains ~rng ~runs make_curve p =
+let average_gamma ?obs ?domains ~rng ~runs make_curve p =
   let values =
-    Fn_parallel.Par.trials ?domains ~rng runs (fun r -> gamma_at (make_curve r) p)
+    Fn_parallel.Par.trials ?obs ?domains ~rng runs (fun r -> gamma_at (make_curve r) p)
   in
   let n = float_of_int runs in
   let mean = Array.fold_left ( +. ) 0.0 values /. n in

@@ -19,11 +19,13 @@ type curve = {
   n : int;  (** number of nodes of the graph *)
 }
 
-val site_run : Rng.t -> Graph.t -> curve
+val site_run : ?obs:Fn_obs.Sink.t -> Rng.t -> Graph.t -> curve
 (** One site-percolation sweep: nodes appear in random order; an edge
-    is live when both endpoints are occupied. *)
+    is live when both endpoints are occupied.  An enabled [obs] sink
+    gets one ["percolation.sweep"] instant per completed sweep —
+    progress reporting when many sweeps run in parallel. *)
 
-val bond_run : Rng.t -> Graph.t -> curve
+val bond_run : ?obs:Fn_obs.Sink.t -> Rng.t -> Graph.t -> curve
 (** One bond-percolation sweep: all nodes present, edges appear in
     random order — the G^(p) model of the paper's Section 1.1. *)
 
@@ -32,6 +34,12 @@ val gamma_at : curve -> float -> float
     when each site/bond is occupied with probability [p]. *)
 
 val average_gamma :
-  ?domains:int -> rng:Rng.t -> runs:int -> (Rng.t -> curve) -> float -> float * float
+  ?obs:Fn_obs.Sink.t ->
+  ?domains:int ->
+  rng:Rng.t ->
+  runs:int ->
+  (Rng.t -> curve) ->
+  float ->
+  float * float
 (** Mean and sample standard deviation of [gamma_at _ p] over
     independent runs, executed in parallel. *)

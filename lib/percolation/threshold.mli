@@ -18,6 +18,7 @@ type result = {
 }
 
 val estimate :
+  ?obs:Fn_obs.Sink.t ->
   ?domains:int ->
   ?runs:int ->
   ?level:float ->
@@ -28,9 +29,18 @@ val estimate :
   result
 (** Defaults: [runs] 32 curves (shared by every probe), [level] 0.4,
     [tolerance] 1e-3 on p.  The same set of curves is evaluated at
-    every probe point, so the bisection sees a monotone function. *)
+    every probe point, so the bisection sees a monotone function.
+    An enabled [obs] sink wraps the estimate in a
+    ["percolation.threshold"] span with per-sweep progress instants
+    from {!Newman_ziff}. *)
 
 val gamma_curve :
-  ?domains:int -> ?runs:int -> rng:Rng.t -> mode -> Graph.t -> float list ->
+  ?obs:Fn_obs.Sink.t ->
+  ?domains:int ->
+  ?runs:int ->
+  rng:Rng.t ->
+  mode ->
+  Graph.t ->
+  float list ->
   (float * float * float) list
 (** [(p, mean γ, std γ)] at each requested probability. *)

@@ -16,6 +16,10 @@ let format_float precision v =
 let add_float_row ?(precision = 4) t label floats =
   add_row t (label :: List.map (format_float precision) floats)
 
+let headers t = t.headers
+
+let rows t = List.rev t.rows
+
 let all_rows t = t.headers :: List.rev t.rows
 
 let to_string t =

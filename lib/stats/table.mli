@@ -13,6 +13,11 @@ val add_float_row : ?precision:int -> t -> string -> float list -> unit
     given precision (default 4).  Label + floats must match the
     header arity. *)
 
+val headers : t -> string list
+
+val rows : t -> string list list
+(** Data rows (headers excluded) in insertion order. *)
+
 val to_string : t -> string
 (** Aligned plain text, ready for a terminal or a log. *)
 

@@ -9,7 +9,7 @@ let run_and_check id =
   match Fn_experiments.Registry.find id with
   | None -> Alcotest.failf "experiment %s not registered" id
   | Some e ->
-    let outcome = e.Fn_experiments.Registry.run ~quick:true ~seed:4242 () in
+    let outcome = e.Fn_experiments.Registry.run (Fn_experiments.Workload.config ~quick:true ~seed:4242 ()) in
     List.iter
       (fun (name, ok) ->
         if not ok then Alcotest.failf "%s check failed: %s" id name)
@@ -27,11 +27,44 @@ let test_registry_complete () =
     (match Fn_experiments.Registry.find "e7" with Some _ -> true | None -> false);
   check_bool "unknown" true (Fn_experiments.Registry.find "E15" = None)
 
+(* Registry vs. the filesystem: every lib/experiments/e*.ml must be
+   registered, so adding an experiment file without wiring it into
+   Registry.all fails the suite.  The test runs from _build/default/test
+   (the dune glob dep copies the sources next door). *)
+let test_registry_covers_sources () =
+  let candidates =
+    [
+      Filename.concat ".." (Filename.concat "lib" "experiments");
+      Filename.concat "lib" "experiments";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> Alcotest.fail "lib/experiments not found from test cwd"
+  | Some dir ->
+    let id_of_file f =
+      (* "e07_chain_decay.ml" -> "E7"; "e12_x.ml" -> "E12" *)
+      if String.length f > 3 && f.[0] = 'e' && Filename.check_suffix f ".ml" then
+        match int_of_string_opt (String.sub f 1 2) with
+        | Some n -> Some (Printf.sprintf "E%d" n)
+        | None -> None
+      else None
+    in
+    let ids = Sys.readdir dir |> Array.to_list |> List.filter_map id_of_file in
+    check_bool "found experiment sources" true (ids <> []);
+    List.iter
+      (fun id ->
+        if Fn_experiments.Registry.find id = None then
+          Alcotest.failf "%s has a source file but is not in Registry.all" id)
+      ids;
+    check_int "one registry entry per source file"
+      (List.length ids)
+      (List.length Fn_experiments.Registry.all)
+
 let test_outcome_render () =
   match Fn_experiments.Registry.find "E2" with
   | None -> Alcotest.fail "E2 missing"
   | Some e ->
-    let o = e.Fn_experiments.Registry.run ~quick:true ~seed:1 () in
+    let o = e.Fn_experiments.Registry.run (Fn_experiments.Workload.config ~quick:true ~seed:1 ()) in
     let s = Fn_experiments.Outcome.render o in
     check_bool "mentions id" true (String.length s > 10 && String.sub s 4 2 = "E2")
 
@@ -39,7 +72,11 @@ let () =
   Alcotest.run "experiments_quick"
     [
       ( "registry",
-        [ case "complete" test_registry_complete; case "render" test_outcome_render ] );
+        [
+          case "complete" test_registry_complete;
+          case "covers source files" test_registry_covers_sources;
+          case "render" test_outcome_render;
+        ] );
       ( "outcomes",
         [
           case "E2 chain expansion" (fun () -> run_and_check "E2");

@@ -135,6 +135,20 @@ let test_no_print_in_lib () =
   check_bool "reporter allowlisted" false
     (hit ~path:"lib/stats/table.ml" "let () = print_endline \"hi\"")
 
+let test_no_raw_timing () =
+  let hit ?path src = List.mem "no-raw-timing" (rules_hit (lint ?path src)) in
+  check_bool "Unix.gettimeofday" true (hit "let t = Unix.gettimeofday ()");
+  check_bool "Sys.time" true (hit "let t = Sys.time ()");
+  check_bool "Unix.time" true (hit "let t = Unix.time ()");
+  check_bool "Unix.times" true (hit "let t = Unix.times ()");
+  check_bool "bin is linted too" true (hit ~path:"bin/tool.ml" "let t = Sys.time ()");
+  check_bool "allowlisted in lib/obs" false
+    (hit ~path:"lib/obs/clock.ml" "let t = Unix.gettimeofday ()");
+  check_bool "Fn_obs.Clock ok" false (hit "let t = Fn_obs.Clock.now_ns ()");
+  check_bool "other Sys functions ok" false (hit "let a = Sys.argv");
+  check_bool "qualified submodule ok" false (hit "let t = My.Unix.gettimeofday ()");
+  check_bool "comment mention ok" false (hit "(* Unix.gettimeofday is banned *) let x = 1")
+
 let test_no_todo_naked () =
   let hit src = List.mem "no-todo-naked" (rules_hit (lint src)) in
   check_bool "naked TODO" true (hit "(* TODO handle overflow *) let x = 1");
@@ -267,6 +281,7 @@ let () =
           Alcotest.test_case "no-catchall-exn" `Quick test_no_catchall_exn;
           Alcotest.test_case "mli-required" `Quick test_mli_required;
           Alcotest.test_case "no-print-in-lib" `Quick test_no_print_in_lib;
+          Alcotest.test_case "no-raw-timing" `Quick test_no_raw_timing;
           Alcotest.test_case "no-todo-naked" `Quick test_no_todo_naked;
         ] );
       ( "suppression",
