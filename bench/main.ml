@@ -1,234 +1,149 @@
-(* Bechamel micro-benchmarks: one Test.make per experiment kernel
-   (E1..E10) plus ablation kernels for the substrate algorithms the
-   experiments lean on.  Inputs are built once, outside the timed
-   closures; sizes are the experiments' quick-mode sizes so the whole
-   suite finishes in about a minute.
+(* fn_bench driver: micro-benchmarks for every experiment kernel
+   (E1..E14) and the substrate/ablation kernels, with robust
+   statistics and JSON baselines.  No external benchmarking
+   dependency — see lib/bench.
 
-   Run with:  dune exec bench/main.exe *)
+     dune exec bench/main.exe                     # run + table
+     dune exec bench/main.exe -- --json           # + BENCH_<suite>.json
+     dune exec bench/main.exe -- --baseline BENCH_experiments.json --check
+     dune build @bench-smoke                      # 1-iteration correctness pass
 
-open Bechamel
-open Toolkit
+   Exit codes: 0 ok; 1 smoke failure or failed --check gate; 2 usage. *)
 
-let rng0 = Fn_prng.Rng.create 0xBEC4
+let usage = "bench/main.exe [--list|--smoke] [--quick] [--json] [--out-dir DIR]\n\
+            \  [--baseline FILE [--check]] [--threshold PCT] [--filter REGEX] [--seed N]"
 
-(* ---- prebuilt inputs ---- *)
+let list_only = ref false
+let smoke = ref false
+let quick = ref false
+let json = ref false
+let out_dir = ref "."
+let baseline_file = ref ""
+let check = ref false
+let threshold_pct = ref 25.0
+let filter_re = ref ""
+let seed = ref 42
 
-let expander256 = Fn_topology.Expander.random_regular (Fn_prng.Rng.copy rng0) ~n:256 ~d:6
+let spec =
+  [
+    ("--list", Arg.Set list_only, " list kernel names (suite/name) and exit");
+    ("--smoke", Arg.Set smoke, " run every kernel once, verifying it completes");
+    ("--quick", Arg.Set quick, " reduced sampling (~0.2s per kernel)");
+    ("--json", Arg.Set json, " write BENCH_<suite>.json per suite");
+    ("--out-dir", Arg.Set_string out_dir, "DIR directory for BENCH_*.json (default .)");
+    ("--baseline", Arg.Set_string baseline_file, "FILE compare this run against a recorded baseline");
+    ("--check", Arg.Set check, " exit non-zero when the comparison finds a significant change");
+    ("--threshold", Arg.Set_float threshold_pct, "PCT relative gate threshold in percent (default 25)");
+    ("--filter", Arg.Set_string filter_re, "REGEX only kernels whose name matches (Str syntax, partial)");
+    ("--seed", Arg.Set_int seed, "N bootstrap seed (default 42)");
+  ]
 
-let alpha256 =
-  (Fn_expansion.Estimate.run ~rng:(Fn_prng.Rng.copy rng0) expander256 Fn_expansion.Cut.Node)
-    .Fn_expansion.Estimate.value
-
-let chain8 =
-  Fn_topology.Chain_graph.build
-    (Fn_topology.Expander.random_regular (Fn_prng.Rng.copy rng0) ~n:32 ~d:4)
-    ~k:8
-
-let chain_graph = chain8.Fn_topology.Chain_graph.graph
-let chain_centers = Fn_topology.Chain_graph.chain_centers chain8
-let mesh16, _ = Fn_topology.Mesh.cube ~d:2 ~side:16
-let mesh8, geo8 = Fn_topology.Mesh.cube ~d:2 ~side:8
-let mesh32, _ = Fn_topology.Mesh.cube ~d:2 ~side:32
-let mesh64, _ = Fn_topology.Mesh.cube ~d:2 ~side:64
-let torus16, _ = Fn_topology.Torus.cube ~d:2 ~side:16
-
-let alpha_e_torus16 =
-  (Fn_expansion.Estimate.run ~rng:(Fn_prng.Rng.copy rng0) torus16 Fn_expansion.Cut.Edge)
-    .Fn_expansion.Estimate.value
-
-let debruijn6 = Fn_topology.Debruijn.graph 6
-let mesh4, _ = Fn_topology.Mesh.cube ~d:2 ~side:4
-let mesh5, _ = Fn_topology.Mesh.cube ~d:2 ~side:5
-let corner_terminals = [| 0; 4; 20; 24 |]
-
-(* ---- one kernel per experiment ---- *)
-
-let e1_prune_adversarial () =
-  let rng = Fn_prng.Rng.copy rng0 in
-  let faults = Fn_faults.Adversary.ball_isolation rng expander256 ~budget:24 in
-  Faultnet.Prune.run ~rng expander256 ~alive:faults.Fn_faults.Fault_set.alive ~alpha:alpha256
-    ~epsilon:0.5
-
-let e2_chain_expansion () =
-  Fn_expansion.Estimate.run ~rng:(Fn_prng.Rng.copy rng0) chain_graph Fn_expansion.Cut.Node
-
-let e3_chain_attack () =
-  let faults =
-    Fn_faults.Adversary.targets chain_graph ~targets:chain_centers
-      ~budget:(Array.length chain_centers)
-  in
-  Fn_graph.Components.compute ~alive:faults.Fn_faults.Fault_set.alive chain_graph
-
-let e4_recursive_attack () =
-  Fn_faults.Adversary.recursive_cut ~rng:(Fn_prng.Rng.copy rng0) mesh16 ~epsilon:0.125
-
-let e5_random_chain () =
-  let rng = Fn_prng.Rng.copy rng0 in
-  let faults = Fn_faults.Random_faults.nodes_iid rng chain_graph 0.05 in
-  Fn_graph.Components.compute ~alive:faults.Fn_faults.Fault_set.alive chain_graph
-
-let e6_prune2_random () =
-  let rng = Fn_prng.Rng.copy rng0 in
-  let faults = Fn_faults.Random_faults.nodes_iid rng torus16 0.05 in
-  Faultnet.Prune2.run ~rng torus16 ~alive:faults.Fn_faults.Fault_set.alive
-    ~alpha_e:alpha_e_torus16 ~epsilon:0.125
-
-let e7_mesh_span () =
-  let rng = Fn_prng.Rng.copy rng0 in
-  match Faultnet.Compact.random_compact rng mesh8 ~target_size:12 with
-  | Some s -> Faultnet.Mesh_span.certify mesh8 geo8 s
-  | None -> None
-
-let e8_percolation () =
-  Fn_percolation.Newman_ziff.bond_run (Fn_prng.Rng.copy rng0) mesh32
-
-let e9_can_churn () =
-  let rng = Fn_prng.Rng.copy rng0 in
-  Fn_topology.Can.graph (Fn_topology.Can.build rng ~d:2 ~n:128)
-
-let e10_span_conjecture () =
-  Faultnet.Span.sample (Fn_prng.Rng.copy rng0) ~samples:10 debruijn6
-
-let e14_transient_churn () =
-  Fn_faults.Churn.simulate (Fn_prng.Rng.copy rng0) torus16 ~rate_fail:0.1 ~rate_repair:0.9
-    ~horizon:10.0 ~snapshots:5
-
-(* ---- substrate ablations ---- *)
-
-let kernel_bfs_mesh64 () = Fn_graph.Bfs.distances mesh64 0
-
-let kernel_components_mesh64 () = Fn_graph.Components.compute mesh64
-
-let kernel_spectral_torus16 () = Fn_expansion.Spectral.lambda2 torus16
-
-let kernel_exact_expansion_16 () = Fn_expansion.Exact.node_expansion mesh4
-
-let kernel_steiner_exact () = Fn_graph.Steiner.exact mesh5 corner_terminals
-
-let kernel_steiner_approx () = Fn_graph.Steiner.approx mesh5 corner_terminals
-
-(* ablation: the degenerate-eigenspace fix — a single Fiedler sweep vs
-   the rotated-pair portfolio (see Spectral.fiedler_pair) *)
-let ablation_sweep_single () =
-  let r = Fn_expansion.Spectral.lambda2 mesh16 in
-  Fn_expansion.Sweep.best_prefix mesh16 ~score:r.Fn_expansion.Spectral.fiedler
-    Fn_expansion.Cut.Edge
-
-let ablation_sweep_pair () =
-  let f1, f2 = Fn_expansion.Spectral.fiedler_pair mesh16 in
-  let rot op = Array.init (Array.length f1) (fun i -> op f1.(i) f2.(i)) in
-  List.fold_left Fn_expansion.Cut.better
-    (Fn_expansion.Sweep.best_prefix mesh16 ~score:f1 Fn_expansion.Cut.Edge)
-    (List.map
-       (fun score -> Fn_expansion.Sweep.best_prefix mesh16 ~score Fn_expansion.Cut.Edge)
-       [ f2; rot ( +. ); rot ( -. ) ])
-
-(* ablation: exact vs heuristic low-expansion finder on a fragment *)
-let small_fragment = Fn_graph.Bitset.create_full 16
-
-let ablation_finder_exact () =
-  Faultnet.Low_expansion.exact Fn_expansion.Cut.Node ~alive:small_fragment mesh4
-    ~threshold:0.4
-
-let ablation_finder_default () =
-  Faultnet.Low_expansion.default Fn_expansion.Cut.Node ~alive:small_fragment mesh4
-    ~threshold:0.4
-
-let kernel_random_regular () =
-  Fn_topology.Random_graphs.random_regular (Fn_prng.Rng.copy rng0) 256 6
-
-let perm_route =
-  let rng = Fn_prng.Rng.copy rng0 in
-  Fn_routing.Route.shortest mesh16 (Fn_routing.Demand.permutation rng mesh16)
-
-let e11_routing () = Fn_routing.Sim.run mesh16 perm_route
-
-let survivor16 =
-  let rng = Fn_prng.Rng.copy rng0 in
-  let faults = Fn_faults.Random_faults.nodes_iid rng mesh16 0.1 in
-  Fn_graph.Components.largest_members ~alive:faults.Fn_faults.Fault_set.alive mesh16
-
-let e12_embedding () = Faultnet.Embedding.self_embed mesh16 ~kept:survivor16
-
-let e13_multibutterfly () =
-  Fn_topology.Multibutterfly.build (Fn_prng.Rng.copy rng0) ~k:5 ~multiplicity:2
-
-let test name f = Test.make ~name (Staged.stage f)
-
-let tests =
-  Test.make_grouped ~name:"faultnet"
-    [
-      Test.make_grouped ~name:"experiments"
-        [
-          test "e1_prune_adversarial" e1_prune_adversarial;
-          test "e2_chain_expansion" e2_chain_expansion;
-          test "e3_chain_attack" e3_chain_attack;
-          test "e4_recursive_attack" e4_recursive_attack;
-          test "e5_random_chain" e5_random_chain;
-          test "e6_prune2_random" e6_prune2_random;
-          test "e7_mesh_span" e7_mesh_span;
-          test "e8_percolation" e8_percolation;
-          test "e9_can_churn" e9_can_churn;
-          test "e10_span_conjecture" e10_span_conjecture;
-          test "e11_routing_sim" e11_routing;
-          test "e12_embedding" e12_embedding;
-          test "e13_multibutterfly" e13_multibutterfly;
-          test "e14_transient_churn" e14_transient_churn;
-        ];
-      Test.make_grouped ~name:"kernels"
-        [
-          test "bfs_mesh64" kernel_bfs_mesh64;
-          test "components_mesh64" kernel_components_mesh64;
-          test "spectral_torus16" kernel_spectral_torus16;
-          test "exact_expansion_4x4" kernel_exact_expansion_16;
-          test "steiner_exact_5x5" kernel_steiner_exact;
-          test "steiner_approx_5x5" kernel_steiner_approx;
-          test "random_regular_256_6" kernel_random_regular;
-        ];
-      Test.make_grouped ~name:"ablations"
-        [
-          test "sweep_single_fiedler" ablation_sweep_single;
-          test "sweep_rotated_pair" ablation_sweep_pair;
-          test "finder_exact_16" ablation_finder_exact;
-          test "finder_portfolio_16" ablation_finder_default;
-        ];
-    ]
-
-let benchmark () =
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
-  in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
-  in
-  let raw_results = Benchmark.all cfg instances tests in
-  let results =
-    List.map (fun instance -> Analyze.all ols instance raw_results) instances
-  in
-  (Analyze.merge ols instances results, raw_results)
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 
 let () =
-  let results, _ = benchmark () in
-  let table = Fn_stats.Table.create [ "benchmark"; "time/run"; "r^2" ] in
-  let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name ols ->
-      let time_ns =
-        match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan
-      in
-      let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
-      rows := (name, time_ns, r2) :: !rows)
-    clock;
-  List.iter
-    (fun (name, t, r2) ->
-      let pretty =
-        if t >= 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
-        else if t >= 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
-        else if t >= 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
-        else Printf.sprintf "%.0f ns" t
-      in
-      Fn_stats.Table.add_row table [ name; pretty; Printf.sprintf "%.4f" r2 ])
-    (List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows);
-  Fn_stats.Table.print table
+  Arg.parse (Arg.align spec) (fun a -> die "unexpected argument %S" a) usage;
+  let name_filter =
+    if !filter_re = "" then fun _ -> true
+    else begin
+      let re = try Str.regexp !filter_re with Failure e -> die "bad --filter regexp: %s" e in
+      fun name -> try ignore (Str.search_forward re name 0); true with Not_found -> false
+    end
+  in
+  let kernels = Fn_bench.Kernels.all in
+  if !list_only then begin
+    List.iter
+      (fun (k : Fn_bench.Suite.kernel) ->
+        if name_filter k.Fn_bench.Suite.name then
+          Printf.printf "%s/%s\n" k.Fn_bench.Suite.suite k.Fn_bench.Suite.name)
+      kernels;
+    exit 0
+  end;
+  if !smoke then begin
+    let failures = ref 0 in
+    List.iter
+      (fun (k : Fn_bench.Suite.kernel) ->
+        if name_filter k.Fn_bench.Suite.name then begin
+          match
+            k.Fn_bench.Suite.prepare ();
+            k.Fn_bench.Suite.run ()
+          with
+          | () -> Printf.printf "ok   %s/%s\n%!" k.Fn_bench.Suite.suite k.Fn_bench.Suite.name
+          | exception e ->
+            incr failures;
+            Printf.printf "FAIL %s/%s: %s\n%!" k.Fn_bench.Suite.suite k.Fn_bench.Suite.name
+              (Printexc.to_string e)
+        end)
+      kernels;
+    if !failures > 0 then begin
+      Printf.eprintf "bench smoke: %d kernel(s) failed\n" !failures;
+      exit 1
+    end;
+    exit 0
+  end;
+  let threshold = !threshold_pct /. 100.0 in
+  if threshold < 0.0 then die "--threshold must be non-negative";
+  if !check && !baseline_file = "" then die "--check requires --baseline FILE";
+  let baseline =
+    if !baseline_file = "" then None
+    else
+      match Fn_bench.Baseline.load !baseline_file with
+      | Ok b -> Some b
+      | Error e -> die "cannot load baseline: %s" e
+  in
+  (* With a baseline and no --json request, only that baseline's suite
+     needs to run. *)
+  let suite_wanted =
+    match baseline with
+    | Some b when not !json -> fun s -> s = b.Fn_bench.Baseline.meta.Fn_bench.Baseline.suite
+    | _ -> fun _ -> true
+  in
+  let opts = if !quick then Fn_bench.Measure.quick else Fn_bench.Measure.default in
+  let progress (k : Fn_bench.Suite.kernel) =
+    Printf.eprintf "benchmarking %s/%s ...\n%!" k.Fn_bench.Suite.suite k.Fn_bench.Suite.name
+  in
+  let grouped =
+    Fn_bench.Suite.run ~progress
+      ~filter:name_filter ~seed:!seed opts
+      (List.filter (fun (k : Fn_bench.Suite.kernel) -> suite_wanted k.Fn_bench.Suite.suite) kernels)
+  in
+  let recordings =
+    List.map
+      (fun (suite, results) -> Fn_bench.Baseline.of_run ~suite ~quick:!quick results)
+      grouped
+  in
+  if !json then
+    List.iter
+      (fun b ->
+        let path = Fn_bench.Baseline.save ~dir:!out_dir b in
+        Printf.printf "wrote %s\n" path)
+      recordings
+  else List.iter (fun g -> print_string (Fn_bench.Report.suite_table g)) grouped;
+  match baseline with
+  | None -> ()
+  | Some base ->
+    let suite = base.Fn_bench.Baseline.meta.Fn_bench.Baseline.suite in
+    let current =
+      match
+        List.find_opt
+          (fun (b : Fn_bench.Baseline.t) ->
+            b.Fn_bench.Baseline.meta.Fn_bench.Baseline.suite = suite)
+          recordings
+      with
+      | Some c -> c
+      | None -> die "baseline suite %S has no registered kernels in this build" suite
+    in
+    (* A --filter narrows the gate on both sides, so unselected
+       baseline kernels are not reported as missing. *)
+    let base =
+      {
+        base with
+        Fn_bench.Baseline.kernels =
+          List.filter
+            (fun (r : Fn_bench.Suite.result) -> name_filter r.Fn_bench.Suite.name)
+            base.Fn_bench.Baseline.kernels;
+      }
+    in
+    let cmp = Fn_bench.Compare.run ~threshold ~baseline:base ~current in
+    print_string (Fn_bench.Report.compare_table cmp);
+    print_endline (Fn_bench.Report.gate_summary ~threshold cmp);
+    if !check && not (Fn_bench.Compare.gate_passes cmp) then exit 1

@@ -8,6 +8,7 @@
      percolate   estimate a percolation threshold
      attack      apply an adversary and report component structure
      experiment  run one of the E1-E14 validation experiments
+     bench       micro-benchmark the experiment/substrate kernels
 
    Subcommands touching the instrumented kernels (expansion, prune,
    percolate, experiment) accept --trace FILE (JSONL span stream) and
@@ -451,6 +452,52 @@ let experiment_cmd =
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Run a paper-validation experiment") term
 
+(* ---- bench ---- *)
+
+let bench_cmd =
+  let quick =
+    let doc = "Reduced sampling (about 0.2s per kernel)." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let json =
+    let doc = "Write BENCH_<suite>.json files into the current directory." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let filter =
+    let doc = "Only kernels whose name contains $(docv) (full regex filtering and the baseline gate live in bench/main.exe)." in
+    Arg.(value & opt (some string) None & info [ "filter" ] ~docv:"SUBSTR" ~doc)
+  in
+  let contains ~sub name =
+    let n = String.length sub and m = String.length name in
+    let rec scan i = i + n <= m && (String.sub name i n = sub || scan (i + 1)) in
+    n = 0 || scan 0
+  in
+  let run seed quick json filter =
+    let name_filter name = match filter with None -> true | Some sub -> contains ~sub name in
+    let opts = if quick then Fn_bench.Measure.quick else Fn_bench.Measure.default in
+    let progress (k : Fn_bench.Suite.kernel) =
+      Printf.eprintf "benchmarking %s/%s ...\n%!" k.Fn_bench.Suite.suite k.Fn_bench.Suite.name
+    in
+    let grouped =
+      Fn_bench.Suite.run ~progress ~filter:name_filter ~seed opts Fn_bench.Kernels.all
+    in
+    if grouped = [] then `Error (false, "no kernel matches the filter")
+    else begin
+      if json then
+        List.iter
+          (fun (suite, results) ->
+            let b = Fn_bench.Baseline.of_run ~suite ~quick results in
+            print_endline ("wrote " ^ Fn_bench.Baseline.save ~dir:"." b))
+          grouped
+      else List.iter (fun g -> print_string (Fn_bench.Report.suite_table g)) grouped;
+      `Ok ()
+    end
+  in
+  let term = Term.(ret (const run $ seed_arg $ quick $ json $ filter)) in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Micro-benchmark the experiment and substrate kernels (fn_bench)")
+    term
+
 let () =
   let doc = "Fault-tolerant network expansion toolkit (SPAA 2004 reproduction)" in
   let info = Cmd.info "faultnet" ~version:"1.0.0" ~doc in
@@ -458,7 +505,7 @@ let () =
     Cmd.group info
       [
         gen_cmd; expansion_cmd; prune_cmd; span_cmd; percolate_cmd; attack_cmd; route_cmd; report_cmd; connectivity_cmd;
-        metrics_cmd; experiment_cmd;
+        metrics_cmd; experiment_cmd; bench_cmd;
       ]
   in
   exit (Cmd.eval group)

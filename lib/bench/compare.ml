@@ -1,0 +1,69 @@
+type verdict = Improved | Regressed | Unchanged
+
+type entry = {
+  name : string;
+  verdict : verdict;
+  base_median_ns : float;
+  cur_median_ns : float;
+  delta_pct : float;
+  ci_separated : bool;
+}
+
+type t = {
+  entries : entry list;
+  missing : string list;
+  added : string list;
+}
+
+let verdict_name = function
+  | Improved -> "improved"
+  | Regressed -> "regressed"
+  | Unchanged -> "unchanged"
+
+let classify ~threshold ~(base : Suite.result) ~(cur : Suite.result) =
+  let b = base.Suite.stats and c = cur.Suite.stats in
+  let rel =
+    if b.Suite.median_ns > 0.0 then
+      (c.Suite.median_ns -. b.Suite.median_ns) /. b.Suite.median_ns
+    else 0.0
+  in
+  let overlap =
+    b.Suite.ci_low_ns <= c.Suite.ci_high_ns && c.Suite.ci_low_ns <= b.Suite.ci_high_ns
+  in
+  let verdict =
+    if Float.abs rel <= threshold || overlap then Unchanged
+    else if rel > 0.0 then Regressed
+    else Improved
+  in
+  {
+    name = base.Suite.name;
+    verdict;
+    base_median_ns = b.Suite.median_ns;
+    cur_median_ns = c.Suite.median_ns;
+    delta_pct = 100.0 *. rel;
+    ci_separated = not overlap;
+  }
+
+let run ~threshold ~(baseline : Baseline.t) ~(current : Baseline.t) =
+  let find name kernels = List.find_opt (fun (r : Suite.result) -> r.Suite.name = name) kernels in
+  let entries, missing =
+    List.fold_left
+      (fun (entries, missing) (base : Suite.result) ->
+        match find base.Suite.name current.Baseline.kernels with
+        | Some cur -> (classify ~threshold ~base ~cur :: entries, missing)
+        | None -> (entries, base.Suite.name :: missing))
+      ([], []) baseline.Baseline.kernels
+  in
+  let added =
+    List.filter_map
+      (fun (cur : Suite.result) ->
+        match find cur.Suite.name baseline.Baseline.kernels with
+        | Some _ -> None
+        | None -> Some cur.Suite.name)
+      current.Baseline.kernels
+  in
+  { entries = List.rev entries; missing = List.rev missing; added }
+
+let regressions t = List.filter (fun e -> e.verdict = Regressed) t.entries
+let significant t = List.filter (fun e -> e.verdict <> Unchanged) t.entries
+let gate_passes t = significant t = [] && t.missing = []

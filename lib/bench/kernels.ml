@@ -1,0 +1,225 @@
+(* One kernel per experiment (E1..E14) plus substrate ablations.
+   Inputs are built once, lazily, outside the timed closures; sizes
+   are the experiments' quick-mode sizes so the whole suite finishes
+   in about a minute. *)
+
+let experiments = "experiments"
+let substrate = "kernels"
+let ablations = "ablations"
+
+let rng0 = Fn_prng.Rng.create 0xBEC4
+let fresh () = Fn_prng.Rng.copy rng0
+
+(* ---- prebuilt inputs (lazy: --list / --filter force nothing) ---- *)
+
+let expander256 = lazy (Fn_topology.Expander.random_regular (fresh ()) ~n:256 ~d:6)
+
+let alpha256 =
+  lazy
+    (Fn_expansion.Estimate.run ~rng:(fresh ()) (Lazy.force expander256) Fn_expansion.Cut.Node)
+
+let chain8 =
+  lazy
+    (Fn_topology.Chain_graph.build
+       (Fn_topology.Expander.random_regular (fresh ()) ~n:32 ~d:4)
+       ~k:8)
+
+let chain_graph = lazy (Lazy.force chain8).Fn_topology.Chain_graph.graph
+let chain_centers = lazy (Fn_topology.Chain_graph.chain_centers (Lazy.force chain8))
+let mesh16 = lazy (fst (Fn_topology.Mesh.cube ~d:2 ~side:16))
+let mesh8_geo = lazy (Fn_topology.Mesh.cube ~d:2 ~side:8)
+let mesh32 = lazy (fst (Fn_topology.Mesh.cube ~d:2 ~side:32))
+let mesh64 = lazy (fst (Fn_topology.Mesh.cube ~d:2 ~side:64))
+let torus16 = lazy (fst (Fn_topology.Torus.cube ~d:2 ~side:16))
+
+let alpha_e_torus16 =
+  lazy (Fn_expansion.Estimate.run ~rng:(fresh ()) (Lazy.force torus16) Fn_expansion.Cut.Edge)
+
+let debruijn6 = lazy (Fn_topology.Debruijn.graph 6)
+let mesh4 = lazy (fst (Fn_topology.Mesh.cube ~d:2 ~side:4))
+let mesh5 = lazy (fst (Fn_topology.Mesh.cube ~d:2 ~side:5))
+let corner_terminals = [| 0; 4; 20; 24 |]
+
+let perm_route =
+  lazy
+    (let rng = fresh () in
+     let g = Lazy.force mesh16 in
+     Fn_routing.Route.shortest g (Fn_routing.Demand.permutation rng g))
+
+let survivor16 =
+  lazy
+    (let rng = fresh () in
+     let g = Lazy.force mesh16 in
+     let faults = Fn_faults.Random_faults.nodes_iid rng g 0.1 in
+     Fn_graph.Components.largest_members ~alive:faults.Fn_faults.Fault_set.alive g)
+
+let small_fragment = lazy (Fn_graph.Bitset.create_full 16)
+
+(* ---- registration ---- *)
+
+let dep x () = ignore (Lazy.force x)
+let deps ds () = List.iter (fun d -> d ()) ds
+
+let kernels_rev = ref []
+
+let reg ?items ~suite name prepare f =
+  kernels_rev := Suite.kernel ?items ~prepare ~suite name f :: !kernels_rev
+
+(* ---- one kernel per experiment ---- *)
+
+let () =
+  reg ~suite:experiments ~items:256 "e1_prune_adversarial"
+    (deps [ dep expander256; dep alpha256 ])
+    (fun () ->
+      let rng = fresh () in
+      let g = Lazy.force expander256 in
+      let alpha = (Lazy.force alpha256).Fn_expansion.Estimate.value in
+      let faults = Fn_faults.Adversary.ball_isolation rng g ~budget:24 in
+      Faultnet.Prune.run ~rng g ~alive:faults.Fn_faults.Fault_set.alive ~alpha ~epsilon:0.5)
+
+let () =
+  reg ~suite:experiments ~items:256 "e2_chain_expansion" (dep chain_graph) (fun () ->
+      Fn_expansion.Estimate.run ~rng:(fresh ()) (Lazy.force chain_graph) Fn_expansion.Cut.Node)
+
+let () =
+  reg ~suite:experiments "e3_chain_attack"
+    (deps [ dep chain_graph; dep chain_centers ])
+    (fun () ->
+      let g = Lazy.force chain_graph in
+      let centers = Lazy.force chain_centers in
+      let faults = Fn_faults.Adversary.targets g ~targets:centers ~budget:(Array.length centers) in
+      Fn_graph.Components.compute ~alive:faults.Fn_faults.Fault_set.alive g)
+
+let () =
+  reg ~suite:experiments ~items:256 "e4_recursive_attack" (dep mesh16) (fun () ->
+      Fn_faults.Adversary.recursive_cut ~rng:(fresh ()) (Lazy.force mesh16) ~epsilon:0.125)
+
+let () =
+  reg ~suite:experiments "e5_random_chain" (dep chain_graph) (fun () ->
+      let rng = fresh () in
+      let g = Lazy.force chain_graph in
+      let faults = Fn_faults.Random_faults.nodes_iid rng g 0.05 in
+      Fn_graph.Components.compute ~alive:faults.Fn_faults.Fault_set.alive g)
+
+let () =
+  reg ~suite:experiments ~items:256 "e6_prune2_random"
+    (deps [ dep torus16; dep alpha_e_torus16 ])
+    (fun () ->
+      let rng = fresh () in
+      let g = Lazy.force torus16 in
+      let alpha_e = (Lazy.force alpha_e_torus16).Fn_expansion.Estimate.value in
+      let faults = Fn_faults.Random_faults.nodes_iid rng g 0.05 in
+      Faultnet.Prune2.run ~rng g ~alive:faults.Fn_faults.Fault_set.alive ~alpha_e ~epsilon:0.125)
+
+let () =
+  reg ~suite:experiments "e7_mesh_span" (dep mesh8_geo) (fun () ->
+      let rng = fresh () in
+      let mesh8, geo8 = Lazy.force mesh8_geo in
+      match Faultnet.Compact.random_compact rng mesh8 ~target_size:12 with
+      | Some s -> Faultnet.Mesh_span.certify mesh8 geo8 s
+      | None -> None)
+
+let () =
+  reg ~suite:experiments ~items:1024 "e8_percolation" (dep mesh32) (fun () ->
+      Fn_percolation.Newman_ziff.bond_run (fresh ()) (Lazy.force mesh32))
+
+let () =
+  reg ~suite:experiments ~items:128 "e9_can_churn"
+    (fun () -> ())
+    (fun () ->
+      let rng = fresh () in
+      Fn_topology.Can.graph (Fn_topology.Can.build rng ~d:2 ~n:128))
+
+let () =
+  reg ~suite:experiments ~items:10 "e10_span_conjecture" (dep debruijn6) (fun () ->
+      Faultnet.Span.sample (fresh ()) ~samples:10 (Lazy.force debruijn6))
+
+let () =
+  reg ~suite:experiments ~items:256 "e11_routing_sim"
+    (deps [ dep mesh16; dep perm_route ])
+    (fun () -> Fn_routing.Sim.run (Lazy.force mesh16) (Lazy.force perm_route))
+
+let () =
+  reg ~suite:experiments ~items:256 "e12_embedding"
+    (deps [ dep mesh16; dep survivor16 ])
+    (fun () -> Faultnet.Embedding.self_embed (Lazy.force mesh16) ~kept:(Lazy.force survivor16))
+
+let () =
+  reg ~suite:experiments "e13_multibutterfly"
+    (fun () -> ())
+    (fun () -> Fn_topology.Multibutterfly.build (fresh ()) ~k:5 ~multiplicity:2)
+
+let () =
+  reg ~suite:experiments ~items:256 "e14_transient_churn" (dep torus16) (fun () ->
+      Fn_faults.Churn.simulate (fresh ()) (Lazy.force torus16) ~rate_fail:0.1 ~rate_repair:0.9
+        ~horizon:10.0 ~snapshots:5)
+
+(* ---- substrate kernels ---- *)
+
+let () =
+  reg ~suite:substrate ~items:4096 "bfs_mesh64" (dep mesh64) (fun () ->
+      Fn_graph.Bfs.distances (Lazy.force mesh64) 0)
+
+let () =
+  reg ~suite:substrate ~items:4096 "components_mesh64" (dep mesh64) (fun () ->
+      Fn_graph.Components.compute (Lazy.force mesh64))
+
+let () =
+  reg ~suite:substrate ~items:256 "spectral_torus16" (dep torus16) (fun () ->
+      Fn_expansion.Spectral.lambda2 (Lazy.force torus16))
+
+let () =
+  reg ~suite:substrate ~items:16 "exact_expansion_4x4" (dep mesh4) (fun () ->
+      Fn_expansion.Exact.node_expansion (Lazy.force mesh4))
+
+let () =
+  reg ~suite:substrate ~items:25 "steiner_exact_5x5" (dep mesh5) (fun () ->
+      Fn_graph.Steiner.exact (Lazy.force mesh5) corner_terminals)
+
+let () =
+  reg ~suite:substrate ~items:25 "steiner_approx_5x5" (dep mesh5) (fun () ->
+      Fn_graph.Steiner.approx (Lazy.force mesh5) corner_terminals)
+
+let () =
+  reg ~suite:substrate ~items:256 "random_regular_256_6"
+    (fun () -> ())
+    (fun () -> Fn_topology.Random_graphs.random_regular (fresh ()) 256 6)
+
+(* ---- ablations ---- *)
+
+(* the degenerate-eigenspace fix: a single Fiedler sweep vs the
+   rotated-pair portfolio (see Spectral.fiedler_pair) *)
+let () =
+  reg ~suite:ablations ~items:256 "sweep_single_fiedler" (dep mesh16) (fun () ->
+      let g = Lazy.force mesh16 in
+      let r = Fn_expansion.Spectral.lambda2 g in
+      Fn_expansion.Sweep.best_prefix g ~score:r.Fn_expansion.Spectral.fiedler
+        Fn_expansion.Cut.Edge)
+
+let () =
+  reg ~suite:ablations ~items:256 "sweep_rotated_pair" (dep mesh16) (fun () ->
+      let g = Lazy.force mesh16 in
+      let f1, f2 = Fn_expansion.Spectral.fiedler_pair g in
+      let rot op = Array.init (Array.length f1) (fun i -> op f1.(i) f2.(i)) in
+      List.fold_left Fn_expansion.Cut.better
+        (Fn_expansion.Sweep.best_prefix g ~score:f1 Fn_expansion.Cut.Edge)
+        (List.map
+           (fun score -> Fn_expansion.Sweep.best_prefix g ~score Fn_expansion.Cut.Edge)
+           [ f2; rot ( +. ); rot ( -. ) ]))
+
+(* exact vs heuristic low-expansion finder on a fragment *)
+let () =
+  reg ~suite:ablations ~items:16 "finder_exact_16"
+    (deps [ dep mesh4; dep small_fragment ])
+    (fun () ->
+      Faultnet.Low_expansion.exact Fn_expansion.Cut.Node ~alive:(Lazy.force small_fragment)
+        (Lazy.force mesh4) ~threshold:0.4)
+
+let () =
+  reg ~suite:ablations ~items:16 "finder_portfolio_16"
+    (deps [ dep mesh4; dep small_fragment ])
+    (fun () ->
+      Faultnet.Low_expansion.default Fn_expansion.Cut.Node ~alive:(Lazy.force small_fragment)
+        (Lazy.force mesh4) ~threshold:0.4)
+
+let all = List.rev !kernels_rev

@@ -1,0 +1,81 @@
+let pretty_ns t =
+  if Float.is_nan t then "-"
+  else if t >= 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
+  else if t >= 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+  else if t >= 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+  else Printf.sprintf "%.0f ns" t
+
+let pretty_bytes b =
+  if Float.is_nan b then "-"
+  else if b >= 1048576.0 then Printf.sprintf "%.1f MiB" (b /. 1048576.0)
+  else if b >= 1024.0 then Printf.sprintf "%.1f KiB" (b /. 1024.0)
+  else Printf.sprintf "%.0f B" b
+
+let pretty_rate r =
+  if r >= 1e6 then Printf.sprintf "%.2fM/s" (r /. 1e6)
+  else if r >= 1e3 then Printf.sprintf "%.1fk/s" (r /. 1e3)
+  else Printf.sprintf "%.1f/s" r
+
+let suite_table (suite, results) =
+  let table =
+    Fn_stats.Table.create
+      [ suite; "median"; "mad"; "trim-mean"; "95% ci"; "alloc/run"; "items/s"; "samples" ]
+  in
+  List.iter
+    (fun (r : Suite.result) ->
+      let s = r.Suite.stats in
+      Fn_stats.Table.add_row table
+        [
+          r.Suite.name;
+          pretty_ns s.Suite.median_ns;
+          pretty_ns s.Suite.mad_ns;
+          pretty_ns s.Suite.trimmed_mean_ns;
+          Printf.sprintf "[%s, %s]" (pretty_ns s.Suite.ci_low_ns) (pretty_ns s.Suite.ci_high_ns);
+          pretty_bytes s.Suite.bytes_per_run;
+          pretty_rate s.Suite.items_per_sec;
+          Printf.sprintf "%dx%d" s.Suite.runs s.Suite.batch;
+        ])
+    results;
+  Fn_stats.Table.to_string table ^ "\n\n"
+
+let compare_table (c : Compare.t) =
+  let table =
+    Fn_stats.Table.create [ "kernel"; "baseline"; "current"; "delta"; "ci"; "verdict" ]
+  in
+  List.iter
+    (fun (e : Compare.entry) ->
+      Fn_stats.Table.add_row table
+        [
+          e.Compare.name;
+          pretty_ns e.Compare.base_median_ns;
+          pretty_ns e.Compare.cur_median_ns;
+          Printf.sprintf "%+.1f%%" e.Compare.delta_pct;
+          (if e.Compare.ci_separated then "separated" else "overlap");
+          Compare.verdict_name e.Compare.verdict;
+        ])
+    c.Compare.entries;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Fn_stats.Table.to_string table);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun name -> Buffer.add_string buf (Printf.sprintf "missing from current run: %s\n" name))
+    c.Compare.missing;
+  List.iter
+    (fun name -> Buffer.add_string buf (Printf.sprintf "not in baseline (new): %s\n" name))
+    c.Compare.added;
+  Buffer.contents buf
+
+let gate_summary ~threshold (c : Compare.t) =
+  let n = List.length c.Compare.entries in
+  let reg = List.length (Compare.regressions c) in
+  let sig_ = List.length (Compare.significant c) in
+  let imp = sig_ - reg in
+  if Compare.gate_passes c then
+    Printf.sprintf "bench gate OK: %d kernels within %.0f%% of baseline" n (100.0 *. threshold)
+  else
+    Printf.sprintf
+      "bench gate FAILED: %d regressed, %d improved (refresh baseline), %d missing of %d \
+       (threshold %.0f%%)"
+      reg imp
+      (List.length c.Compare.missing)
+      n (100.0 *. threshold)

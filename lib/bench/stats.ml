@@ -1,0 +1,58 @@
+let sorted xs =
+  let ys = Array.copy xs in
+  Array.sort Float.compare ys;
+  ys
+
+let median_sorted ys =
+  let n = Array.length ys in
+  if n = 0 then invalid_arg "Stats.median: empty array";
+  if n land 1 = 1 then ys.(n / 2) else (ys.((n / 2) - 1) +. ys.(n / 2)) /. 2.0
+
+let median xs = median_sorted (sorted xs)
+
+let mad xs =
+  let m = median xs in
+  median (Array.map (fun x -> Float.abs (x -. m)) xs)
+
+let trimmed_mean ?(trim = 0.2) xs =
+  if trim < 0.0 || trim >= 0.5 then invalid_arg "Stats.trimmed_mean: trim must be in [0, 0.5)";
+  let ys = sorted xs in
+  let n = Array.length ys in
+  if n = 0 then invalid_arg "Stats.trimmed_mean: empty array";
+  let k = int_of_float (trim *. float_of_int n) in
+  let lo = k and hi = n - k in
+  let sum = ref 0.0 in
+  for i = lo to hi - 1 do
+    sum := !sum +. ys.(i)
+  done;
+  !sum /. float_of_int (hi - lo)
+
+let quantile_sorted ys q =
+  let n = Array.length ys in
+  if n = 0 then invalid_arg "Stats.quantile: empty array";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0,1]";
+  let pos = q *. float_of_int (n - 1) in
+  let i = int_of_float (Float.floor pos) in
+  let frac = pos -. float_of_int i in
+  if i >= n - 1 then ys.(n - 1) else ((1.0 -. frac) *. ys.(i)) +. (frac *. ys.(i + 1))
+
+let quantile xs q = quantile_sorted (sorted xs) q
+
+let bootstrap_ci ~rng ?(reps = 200) ?(confidence = 0.95) xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.bootstrap_ci: empty array";
+  if n = 1 then (xs.(0), xs.(0))
+  else begin
+    let resample = Array.make n 0.0 in
+    let medians =
+      Array.init reps (fun _ ->
+          for i = 0 to n - 1 do
+            resample.(i) <- xs.(Fn_prng.Rng.int rng n)
+          done;
+          Array.sort Float.compare resample;
+          median_sorted resample)
+    in
+    Array.sort Float.compare medians;
+    let tail = (1.0 -. confidence) /. 2.0 in
+    (quantile_sorted medians tail, quantile_sorted medians (1.0 -. tail))
+  end

@@ -1,0 +1,43 @@
+(** Robust statistics for timing samples.
+
+    Micro-benchmark samples are heavy-tailed (GC pauses, scheduler
+    preemption), so everything here is order-statistic based: the
+    median locates the typical run, the MAD and a trimmed mean
+    describe spread and central tendency without letting a single
+    outlier dominate, and a deterministic bootstrap puts a confidence
+    interval on the median.  All functions copy their input before
+    sorting; none mutates the caller's array. *)
+
+val median : float array -> float
+(** Middle order statistic, averaging the two central elements for
+    even lengths.  Raises [Invalid_argument] on an empty array. *)
+
+val mad : float array -> float
+(** Median absolute deviation from the median — a robust analogue of
+    the standard deviation (consistent up to the usual 1.4826 factor,
+    which we deliberately do not apply: raw MAD is what gets stored
+    and compared).  Raises [Invalid_argument] on an empty array. *)
+
+val trimmed_mean : ?trim:float -> float array -> float
+(** Mean after discarding a [trim] fraction (default 0.2) of the
+    sorted samples from each tail.  [trim] must be in [0, 0.5); with
+    too few samples to trim anything it degrades to the plain mean.
+    Raises [Invalid_argument] on an empty array. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for q in [0,1], linear interpolation between
+    order statistics. *)
+
+val bootstrap_ci :
+  rng:Fn_prng.Rng.t ->
+  ?reps:int ->
+  ?confidence:float ->
+  float array ->
+  float * float
+(** Percentile-bootstrap confidence interval for the median:
+    resample with replacement [reps] times (default 200), take the
+    median of each resample, return the ([1-confidence])/2 and
+    1-([1-confidence])/2 quantiles of those medians (default
+    [confidence] = 0.95).  Deterministic given the [rng] state, which
+    is how BENCH baselines stay byte-reproducible for fixed inputs.
+    A single-element array yields the degenerate interval [x, x]. *)

@@ -400,7 +400,10 @@ let allowlist =
        outcomes to stdout is their whole job *)
     ("no-print-in-lib", [ Basename "table.ml"; Basename "report.ml"; Basename "outcome.ml" ]);
     (* the observability clock is the one legal wrapper over the raw
-       OS clock; everything else times through it *)
+       OS clock; everything else times through it.  Notably the
+       benchmark engine (lib/bench) and harness (bench/) are NOT
+       allowlisted: benchmark timing must read Fn_obs.Clock so bench
+       numbers and observability spans share one clock. *)
     ("no-raw-timing", [ Prefix "lib/obs/" ]);
   ]
 

@@ -142,6 +142,16 @@ let test_no_raw_timing () =
   check_bool "Unix.time" true (hit "let t = Unix.time ()");
   check_bool "Unix.times" true (hit "let t = Unix.times ()");
   check_bool "bin is linted too" true (hit ~path:"bin/tool.ml" "let t = Sys.time ()");
+  (* the benchmark subsystem gets no exemption: its whole point is
+     that bench numbers come off the same monotone clock as spans *)
+  check_bool "bench engine must use Clock" true
+    (hit ~path:"lib/bench/measure.ml" "let t0 = Sys.time () in t0");
+  check_bool "bench engine gettimeofday caught" true
+    (hit ~path:"lib/bench/measure.ml" "let t0 = Unix.gettimeofday ()");
+  check_bool "bench harness is linted too" true
+    (hit ~path:"bench/main.ml" "let t = Unix.gettimeofday ()");
+  check_bool "clock-routed bench code ok" false
+    (hit ~path:"lib/bench/measure.ml" "let t0 = Fn_obs.Clock.now_ns ()");
   check_bool "allowlisted in lib/obs" false
     (hit ~path:"lib/obs/clock.ml" "let t = Unix.gettimeofday ()");
   check_bool "Fn_obs.Clock ok" false (hit "let t = Fn_obs.Clock.now_ns ()");
