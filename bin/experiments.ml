@@ -1,16 +1,26 @@
 (* Run the E1-E14 validation experiments and print their tables.
 
    Usage: experiments [--quick] [--seed N] [--domains N] [--json]
-                      [--trace FILE] [--metrics] [ids...]
+                      [--trace FILE] [--metrics]
+                      [--deadline S] [--retries N] [--chaos P]
+                      [--chaos-seed N] [--resume FILE] [ids...]
    With no ids, runs everything in order.  --trace streams JSONL spans
    (per-experiment, per-Prune-round, per-sweep...) to FILE; --metrics
    prints the metrics registry to stderr at exit; --json replaces the
-   rendered tables with one JSON object per experiment on stdout. *)
+   rendered tables with one JSON object per experiment on stdout.
+
+   The resilience flags feed Fn_resilience: --deadline/--retries bound
+   each supervised unit of work, --chaos injects deterministic faults
+   (exceptions and delays) into those units, and --resume journals
+   completed experiments to FILE so an interrupted sweep restarts
+   where it stopped — with identical output, since outcomes replay
+   from the journal byte-for-byte. *)
 
 let usage () =
   prerr_endline
     "usage: experiments [--quick] [--seed N] [--domains N] [--json] [--trace FILE] \
-     [--metrics] [E1 E2 ...]";
+     [--metrics] [--deadline S] [--retries N] [--chaos P] [--chaos-seed N] \
+     [--resume FILE] [E1 E2 ...]";
   exit 2
 
 let () =
@@ -20,6 +30,11 @@ let () =
   let json = ref false in
   let trace = ref None in
   let metrics = ref false in
+  let deadline = ref None in
+  let retries = ref Fn_resilience.Policy.default.Fn_resilience.Policy.retries in
+  let chaos = ref 0.0 in
+  let chaos_seed = ref 0 in
+  let resume = ref None in
   let ids = ref [] in
   let rec parse = function
     | [] -> ()
@@ -47,6 +62,33 @@ let () =
     | "--metrics" :: rest ->
       metrics := true;
       parse rest
+    | "--deadline" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some d when d > 0.0 ->
+        deadline := Some d;
+        parse rest
+      | _ -> usage ())
+    | "--retries" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some r when r >= 0 ->
+        retries := r;
+        parse rest
+      | _ -> usage ())
+    | "--chaos" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some p when p >= 0.0 && p <= 1.0 ->
+        chaos := p;
+        parse rest
+      | _ -> usage ())
+    | "--chaos-seed" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some s ->
+        chaos_seed := s;
+        parse rest
+      | None -> usage ())
+    | "--resume" :: path :: rest ->
+      resume := Some path;
+      parse rest
     | "--help" :: _ -> usage ()
     | id :: rest ->
       ids := id :: !ids;
@@ -58,8 +100,37 @@ let () =
     | Some path -> Fn_obs.Sink.jsonl_file path
     | None -> if !metrics then Fn_obs.Sink.discard () else Fn_obs.Sink.null
   in
+  let policy =
+    Fn_resilience.Policy.make ?deadline_s:!deadline ~retries:!retries ~chaos:!chaos
+      ~chaos_seed:!chaos_seed ()
+  in
+  let journal =
+    match !resume with
+    | None -> None
+    | Some path -> (
+      (* seed and quick bind the journal to a run; the policy does not
+         (retries/chaos do not change what a successful experiment
+         computes), so a sweep may be resumed with different
+         resilience flags *)
+      let meta =
+        [ ("seed", Fn_obs.Jsonx.Int !seed); ("quick", Fn_obs.Jsonx.Bool !quick) ]
+      in
+      match Fn_resilience.Journal.open_ ~path ~meta with
+      | Ok j ->
+        if Fn_resilience.Journal.recovered j > 0 then
+          Printf.eprintf "resuming from %s: %d journaled record(s)%s\n%!" path
+            (Fn_resilience.Journal.recovered j)
+            (if Fn_resilience.Journal.torn j > 0 then
+               Printf.sprintf " (%d torn line(s) skipped)" (Fn_resilience.Journal.torn j)
+             else "");
+        Some j
+      | Error m ->
+        Printf.eprintf "cannot resume from %s: %s\n" path m;
+        exit 2)
+  in
   let cfg =
-    Fn_experiments.Workload.config ~quick:!quick ~seed:!seed ?domains:!domains ~obs:sink ()
+    Fn_experiments.Workload.config ~quick:!quick ~seed:!seed ?domains:!domains ~obs:sink
+      ~resilience:policy ?journal ()
   in
   let entries =
     match List.rev !ids with
@@ -89,18 +160,36 @@ let () =
               ]
         else Fn_obs.Span.null
       in
-      let outcome = e.Fn_experiments.Registry.run cfg in
-      let passed = Fn_experiments.Outcome.all_passed outcome in
-      if Fn_obs.Sink.enabled sink then
-        Fn_obs.Span.exit sp ~fields:[ ("passed", Fn_obs.Sink.Bool passed) ];
-      let elapsed = Fn_obs.Clock.elapsed_s ~since_ns:started in
-      if !json then print_endline (Fn_experiments.Outcome.to_json outcome)
-      else begin
-        print_string (Fn_experiments.Outcome.render outcome);
-        Printf.printf "  (%.1fs)\n\n" elapsed
-      end;
-      if not passed then incr failures)
+      match Fn_experiments.Registry.run_entry e cfg with
+      | outcome ->
+        let passed = Fn_experiments.Outcome.all_passed outcome in
+        if Fn_obs.Sink.enabled sink then
+          Fn_obs.Span.exit sp ~fields:[ ("passed", Fn_obs.Sink.Bool passed) ];
+        let elapsed = Fn_obs.Clock.elapsed_s ~since_ns:started in
+        if !json then print_endline (Fn_experiments.Outcome.to_json outcome)
+        else begin
+          print_string (Fn_experiments.Outcome.render outcome);
+          Printf.printf "  (%.1fs)\n\n" elapsed
+        end;
+        if not passed then incr failures
+      | exception Fn_resilience.Failure.Supervision_failed { scope; failure; causes } ->
+        (* the retry budget is spent: report the whole attempt history
+           and move on, so one doomed experiment cannot take down the
+           rest of the sweep (its journal entries survive for a later
+           --resume with a longer deadline or more retries) *)
+        if Fn_obs.Sink.enabled sink then
+          Fn_obs.Span.exit sp ~fields:[ ("passed", Fn_obs.Sink.Bool false) ];
+        Printf.eprintf "%s: %s in %S%s\n" e.Fn_experiments.Registry.id
+          (Fn_resilience.Failure.to_string failure)
+          scope
+          (match causes with
+          | [] -> ""
+          | causes ->
+            "\n  attempts: "
+            ^ String.concat "; " (List.map Fn_resilience.Failure.to_string causes));
+        incr failures)
     entries;
+  Option.iter Fn_resilience.Journal.close journal;
   Fn_obs.Sink.close sink;
   if !metrics then prerr_string (Fn_obs.Metrics.report_text ());
   if !failures > 0 then begin

@@ -436,19 +436,78 @@ let experiment_cmd =
     let doc = "Emit the outcome as one JSON object instead of a rendered table." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run seed id quick json trace metrics =
+  let deadline =
+    let doc = "Per-attempt deadline in seconds for each supervised unit of work." in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S" ~doc)
+  in
+  let retries =
+    let doc = "Retries after a failed supervised unit (deterministic backoff)." in
+    Arg.(
+      value
+      & opt int Fn_resilience.Policy.default.Fn_resilience.Policy.retries
+      & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let chaos =
+    let doc =
+      "Probability in [0,1] of injecting a deterministic fault (exception or delay) \
+       into each supervised unit; results are unchanged as long as the policy lets \
+       the unit eventually succeed."
+    in
+    Arg.(value & opt float 0.0 & info [ "chaos" ] ~docv:"P" ~doc)
+  in
+  let chaos_seed =
+    let doc = "Seed of the chaos-injection stream (independent of --seed)." in
+    Arg.(value & opt int 0 & info [ "chaos-seed" ] ~docv:"N" ~doc)
+  in
+  let resume =
+    let doc =
+      "Journal completed work to $(docv) (JSONL) and replay anything already journaled \
+       there, resuming an interrupted run."
+    in
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+  in
+  let run seed id quick json deadline retries chaos chaos_seed resume trace metrics =
     match Fn_experiments.Registry.find id with
     | None -> `Error (false, Printf.sprintf "unknown experiment %S (E1..E14)" id)
-    | Some e ->
-      with_obs ~trace ~metrics @@ fun obs ->
-      let cfg = Fn_experiments.Workload.config ~quick ~seed ~obs () in
-      let outcome = e.Fn_experiments.Registry.run cfg in
-      if json then print_endline (Fn_experiments.Outcome.to_json outcome)
-      else print_string (Fn_experiments.Outcome.render outcome);
-      if Fn_experiments.Outcome.all_passed outcome then `Ok () else `Error (false, "checks failed")
+    | Some e -> (
+      let policy =
+        try Ok (Fn_resilience.Policy.make ?deadline_s:deadline ~retries ~chaos ~chaos_seed ())
+        with Invalid_argument m -> Error m
+      in
+      match policy with
+      | Error m -> `Error (false, m)
+      | Ok policy -> (
+        let journal =
+          match resume with
+          | None -> Ok None
+          | Some path ->
+            Result.map Option.some
+              (Fn_resilience.Journal.open_ ~path
+                 ~meta:
+                   [
+                     ("seed", Fn_obs.Jsonx.Int seed); ("quick", Fn_obs.Jsonx.Bool quick);
+                   ])
+        in
+        match journal with
+        | Error m -> `Error (false, m)
+        | Ok journal ->
+          let finish_journal () = Option.iter Fn_resilience.Journal.close journal in
+          Fun.protect ~finally:finish_journal @@ fun () ->
+          with_obs ~trace ~metrics @@ fun obs ->
+          let cfg =
+            Fn_experiments.Workload.config ~quick ~seed ~obs ~resilience:policy ?journal ()
+          in
+          let outcome = Fn_experiments.Registry.run_entry e cfg in
+          if json then print_endline (Fn_experiments.Outcome.to_json outcome)
+          else print_string (Fn_experiments.Outcome.render outcome);
+          if Fn_experiments.Outcome.all_passed outcome then `Ok ()
+          else `Error (false, "checks failed")))
   in
   let term =
-    Term.(ret (const run $ seed_arg $ id $ quick $ json $ trace_arg $ metrics_arg))
+    Term.(
+      ret
+        (const run $ seed_arg $ id $ quick $ json $ deadline $ retries $ chaos $ chaos_seed
+       $ resume $ trace_arg $ metrics_arg))
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Run a paper-validation experiment") term
 

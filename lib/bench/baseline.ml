@@ -160,9 +160,12 @@ let of_json j =
 
 (* ---- file I/O ---- *)
 
+(* Write-then-rename: a crash mid-save leaves the old baseline intact
+   instead of a truncated JSON file that the gate would then reject. *)
 let save ~dir t =
   let path = Filename.concat dir (filename ~suite:t.meta.suite) in
-  let oc = open_out path in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
   (* one kernel per line: diffable under git, still plain JSON *)
   (match to_json t with
   | J.Obj fields ->
@@ -184,7 +187,9 @@ let save ~dir t =
       fields;
     output_string oc "\n}\n"
   | j -> output_string oc (J.to_string j));
+  flush oc;
   close_out oc;
+  Sys.rename tmp path;
   path
 
 let load path =

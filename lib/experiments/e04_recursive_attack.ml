@@ -4,6 +4,7 @@ open Fn_faults
 let run (cfg : Workload.config) =
   let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
   let rng = Rng.create seed in
+  let sup scope f = Workload.supervised cfg ~scope ~rng f in
   let sides = if quick then [ 16 ] else [ 16; 24; 32 ] in
   let epsilon = 0.125 in
   let constant_cap = 4.0 in
@@ -15,13 +16,18 @@ let run (cfg : Workload.config) =
   let budget_ok = ref true in
   List.iter
     (fun side ->
-      let g, _geo = Fn_topology.Mesh.cube ~d:2 ~side in
       let n = side * side in
-      let res = Adversary.recursive_cut ~rng g ~epsilon in
-      let faults = Fault_set.count res.Adversary.faults in
+      let faults, max_frag =
+        sup (Printf.sprintf "E4.side%d" side) (fun () ->
+            let g, _geo = Fn_topology.Mesh.cube ~d:2 ~side in
+            let res = Adversary.recursive_cut ~rng g ~epsilon in
+            let max_frag =
+              match res.Adversary.final_fragments with [] -> 0 | x :: _ -> x
+            in
+            (Fault_set.count res.Adversary.faults, max_frag))
+      in
       let alpha_n = float_of_int n /. float_of_int side in
       let shape = log (1.0 /. epsilon) /. epsilon *. alpha_n in
-      let max_frag = match res.Adversary.final_fragments with [] -> 0 | x :: _ -> x in
       let eps_n = epsilon *. float_of_int n in
       if float_of_int max_frag >= eps_n then frags_ok := false;
       if float_of_int faults > constant_cap *. shape then budget_ok := false;

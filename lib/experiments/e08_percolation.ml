@@ -5,6 +5,7 @@ let run (cfg : Workload.config) =
   let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
   let obs = cfg.Workload.obs in
   let rng = Rng.create seed in
+  let sup scope f = Workload.supervised cfg ~scope ~rng f in
   let runs = if quick then 8 else 32 in
   let n_complete = if quick then 128 else 256 in
   let side = if quick then 32 else 64 in
@@ -35,7 +36,11 @@ let run (cfg : Workload.config) =
   let all_ok = ref true in
   List.iter
     (fun (name, g, p_theory, formula) ->
-      let r = Threshold.estimate ~obs ?domains:cfg.Workload.domains ~runs ~rng Threshold.Bond g in
+      let r =
+        sup (Printf.sprintf "E8.%s" name) (fun () ->
+            Threshold.estimate ~obs ?domains:cfg.Workload.domains ~runs ~rng
+              Threshold.Bond g)
+      in
       let ratio = r.Threshold.p_star /. p_theory in
       (* the gamma-level constant and finite size shift the crossing;
          a factor-2.5 window separates the families cleanly (their

@@ -6,6 +6,7 @@ let run (cfg : Workload.config) =
   let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
   let obs = cfg.Workload.obs in
   let rng = Rng.create seed in
+  let sup scope f = Workload.supervised cfg ~scope ~rng f in
   let n = if quick then 128 else 256 in
   let dims = if quick then [ 2 ] else [ 2; 3; 4 ] in
   let p = 0.05 in
@@ -20,16 +21,22 @@ let run (cfg : Workload.config) =
   let eval name g d =
     let nn = Graph.num_nodes g in
     let delta = Graph.max_degree g in
-    let alpha_e = Workload.edge_expansion_estimate ~obs rng g in
-    let epsilon = min (Faultnet.Theorem.thm34_max_epsilon ~delta) 0.45 in
-    let faults = Random_faults.nodes_iid rng g p in
-    let res = Faultnet.Prune2.run ~obs ~rng g ~alive:faults.Fault_set.alive ~alpha_e ~epsilon in
-    let kept = Bitset.cardinal res.Faultnet.Prune2.kept in
-    let exp_h =
-      if kept >= 2 then Workload.edge_expansion_estimate ~obs rng ~alive:res.Faultnet.Prune2.kept g
-      else 0.0
+    let alpha_e, kept, exp_h, ratio =
+      sup (Printf.sprintf "E9.d%d.%s" d name) (fun () ->
+          let alpha_e = Workload.edge_expansion_estimate ~obs rng g in
+          let epsilon = min (Faultnet.Theorem.thm34_max_epsilon ~delta) 0.45 in
+          let faults = Random_faults.nodes_iid rng g p in
+          let res =
+            Faultnet.Prune2.run ~obs ~rng g ~alive:faults.Fault_set.alive ~alpha_e ~epsilon
+          in
+          let kept = Bitset.cardinal res.Faultnet.Prune2.kept in
+          let exp_h =
+            if kept >= 2 then
+              Workload.edge_expansion_estimate ~obs rng ~alive:res.Faultnet.Prune2.kept g
+            else 0.0
+          in
+          (alpha_e, kept, exp_h, exp_h /. alpha_e))
     in
-    let ratio = exp_h /. alpha_e in
     if 2 * kept < nn then all_kept := false;
     if ratio < 0.3 then ratio_ok := false;
     Fn_stats.Table.add_row table

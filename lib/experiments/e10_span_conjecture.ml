@@ -3,6 +3,7 @@ open Fn_prng
 let run (cfg : Workload.config) =
   let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
   let rng = Rng.create seed in
+  let sup scope f = Workload.supervised cfg ~scope ~rng f in
   let samples = if quick then 60 else 200 in
   let families =
     if quick then
@@ -42,7 +43,10 @@ let run (cfg : Workload.config) =
     (fun (family, instances) ->
       List.iter
         (fun (label, g) ->
-          let est = Faultnet.Span.sample rng ~samples g in
+          let est =
+            sup (Printf.sprintf "E10.%s.%s" family label) (fun () ->
+                Faultnet.Span.sample rng ~samples g)
+          in
           let prev = try Hashtbl.find family_max family with Not_found -> 0.0 in
           Hashtbl.replace family_max family (max prev est.Faultnet.Span.span);
           if est.Faultnet.Span.span > 8.0 then bounded := false;

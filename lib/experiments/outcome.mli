@@ -20,6 +20,17 @@ val to_json : t -> string
       "checks":[{"name":...,"ok":...},...],"notes":[...]}]
     — the payload behind [bin/experiments.exe --json]. *)
 
+val to_jsonx : t -> Fn_obs.Jsonx.t
+(** {!to_json} before rendering — the form stored in resume journals. *)
+
+val of_jsonx : Fn_obs.Jsonx.t -> t option
+(** Inverse of {!to_jsonx}.  Outcomes contain only strings and
+    booleans, so the round-trip is exact; [None] on any malformed or
+    foreign JSON. *)
+
+val of_json : string -> t option
+(** [of_jsonx] after {!Fn_obs.Jsonx.parse}. *)
+
 val to_csv : t -> string
 (** The result table as CSV (headers then data rows); checks and
     notes are not part of the CSV. *)

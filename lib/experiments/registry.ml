@@ -65,3 +65,29 @@ let all =
 let find name =
   let target = String.lowercase_ascii name in
   List.find_opt (fun e -> String.lowercase_ascii e.id = target) all
+
+(* Journal-aware execution: an experiment already completed in
+   [cfg.journal] is replayed from its stored outcome (the round-trip
+   is exact — see [Outcome.of_jsonx]); anything else runs and is
+   recorded the moment it finishes, so an interrupted sweep resumes
+   where it stopped. *)
+let run_entry entry (cfg : Workload.config) =
+  match cfg.Workload.journal with
+  | None -> entry.run cfg
+  | Some journal -> (
+    let replayed =
+      Option.bind
+        (Fn_resilience.Journal.find_outcome journal ~id:entry.id)
+        Outcome.of_jsonx
+    in
+    match replayed with
+    | Some outcome ->
+      if Fn_obs.Sink.enabled cfg.Workload.obs then
+        Fn_obs.Span.instant cfg.Workload.obs "resilience.outcome_replayed"
+          ~fields:[ ("id", Fn_obs.Sink.Str entry.id) ];
+      outcome
+    | None ->
+      let outcome = entry.run cfg in
+      Fn_resilience.Journal.record_outcome journal ~id:entry.id
+        (Outcome.to_jsonx outcome);
+      outcome)

@@ -14,3 +14,11 @@ val all : entry list
 
 val find : string -> entry option
 (** Case-insensitive lookup by id ("e3" finds E3). *)
+
+val run_entry : entry -> Workload.config -> Outcome.t
+(** Run one experiment under the config's journal, if any: a completed
+    outcome already in [cfg.journal] is replayed without re-running
+    (emitting a ["resilience.outcome_replayed"] instant when a sink is
+    on); otherwise the experiment runs and its outcome is journaled on
+    completion.  With [cfg.journal = None] this is exactly
+    [entry.run cfg].  Both binaries go through this entry point. *)

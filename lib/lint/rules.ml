@@ -371,6 +371,56 @@ let no_todo_naked =
   rule
 
 (* ------------------------------------------------------------------ *)
+(* 8. no-exit-in-lib                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Library code must not terminate the process: under Fn_resilience's
+   supervision a crash is captured, retried and reported, but [exit]
+   bypasses every handler (and kills sibling domains mid fork-join).
+   Only bin/ decides exit codes.  Unqualified [exit] is flagged unless
+   it is being *defined* ([let exit ...] — lib/obs/span.ml exports its
+   own [exit] for spans); [Stdlib.exit] is always flagged. *)
+let no_exit_in_lib =
+  let rec check rule ctx i acc =
+    let c = ctx.code in
+    if i >= Array.length c then List.rev acc
+    else
+      let flag tok' =
+        finding rule ctx
+          ~message:
+            "exit inside a library kills the whole process and bypasses \
+             supervision (Fn_resilience) and cleanup; return a result or raise, \
+             and let bin/ choose the exit code"
+          tok'
+      in
+      let acc =
+        match c.(i) with
+        | { kind = Token.Ident; text = "exit"; _ }
+          when (not (qualified c i))
+               && (not (is_ident c (i - 1) "let"))
+               && not (is_ident c (i - 1) "and") ->
+            flag c.(i) :: acc
+        | { kind = Token.Uident; text = "Stdlib"; _ }
+          when (not (qualified c i)) && is_dot c (i + 1) && is_ident c (i + 2) "exit" ->
+            flag c.(i) :: acc
+        | _ -> acc
+      in
+      check rule ctx (i + 1) acc
+  in
+  let rec rule =
+    {
+      name = "no-exit-in-lib";
+      severity = Error;
+      doc = "no exit/Stdlib.exit in lib/; only bin/ may terminate the process";
+      check =
+        (fun ctx ->
+          if is_ml ctx.path && starts_with ~prefix:"lib/" ctx.path then check rule ctx 0 []
+          else []);
+    }
+  in
+  rule
+
+(* ------------------------------------------------------------------ *)
 (* Registry and allowlist                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -383,6 +433,7 @@ let all =
     no_print_in_lib;
     no_raw_timing;
     no_todo_naked;
+    no_exit_in_lib;
   ]
 
 let find name = List.find_opt (fun r -> r.name = name) all
@@ -405,6 +456,9 @@ let allowlist =
        allowlisted: benchmark timing must read Fn_obs.Clock so bench
        numbers and observability spans share one clock. *)
     ("no-raw-timing", [ Prefix "lib/obs/" ]);
+    (* lib/obs/span.ml defines and internally calls its own [exit]
+       (closing a span); that shadowed name is not Stdlib.exit *)
+    ("no-exit-in-lib", [ Basename "span.ml" ]);
   ]
 
 let allowed ~rule ~path =

@@ -28,6 +28,11 @@ val no_todo_naked : Rule.t
 (** [TODO]/[FIXME] must carry an owner ([TODO(name)]) or an issue tag
     ([#123]). Warning severity. *)
 
+val no_exit_in_lib : Rule.t
+(** Forbid [exit]/[Stdlib.exit] in [lib/]: terminating the process from
+    a library bypasses supervision ({!Fn_resilience}) and kills sibling
+    domains; only [bin/] chooses exit codes. *)
+
 val all : Rule.t list
 val find : string -> Rule.t option
 

@@ -69,7 +69,10 @@ let jsonl_file path =
   Active
     {
       write = jsonl_writer oc;
-      close_fn = (fun () -> close_out oc);
+      close_fn =
+        (fun () ->
+          flush oc;
+          close_out oc);
       next = Atomic.make 0;
     }
 

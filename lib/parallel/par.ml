@@ -2,22 +2,43 @@ let default_domains () =
   let n = Domain.recommended_domain_count () in
   max 1 (min 8 n)
 
+exception Job_failed of { index : int; exn : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Job_failed { index; exn } ->
+      Some (Printf.sprintf "Par.Job_failed(job %d: %s)" index (Printexc.to_string exn))
+    | _ -> None)
+
+let wrap_failure ~index exn bt = Printexc.raise_with_backtrace (Job_failed { index; exn }) bt
+
 let map ?(obs = Fn_obs.Sink.null) ?domains f a =
   let n = Array.length a in
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
   let workers = min domains n in
-  if workers <= 1 || n < 2 then Array.map f a
+  if workers <= 1 || n < 2 then
+    Array.mapi
+      (fun i x -> try f x with e -> wrap_failure ~index:i e (Printexc.get_raw_backtrace ()))
+      a
   else begin
     let out = Array.make n None in
     let chunk = (n + workers - 1) / workers in
     let seconds = Array.make workers 0.0 in
+    (* First failure per worker, as (job index, exn, backtrace): the
+       joining domain re-raises the lowest-index one with its job
+       index attached instead of a context-free exception. *)
+    let failed = Array.make workers None in
     let run_chunk w () =
       let start_ns = if Fn_obs.Sink.enabled obs then Fn_obs.Clock.now_ns () else 0 in
       let lo = w * chunk in
       let hi = min n (lo + chunk) - 1 in
-      for i = lo to hi do
-        out.(i) <- Some (f a.(i))
-      done;
+      let i = ref lo in
+      (try
+         while !i <= hi do
+           out.(!i) <- Some (f a.(!i));
+           incr i
+         done
+       with e -> failed.(w) <- Some (!i, e, Printexc.get_raw_backtrace ()));
       if Fn_obs.Sink.enabled obs then begin
         let dt = Fn_obs.Clock.elapsed_s ~since_ns:start_ns in
         seconds.(w) <- dt;
@@ -33,6 +54,18 @@ let map ?(obs = Fn_obs.Sink.null) ?domains f a =
     in
     let handles = Array.init workers (fun w -> Domain.spawn (run_chunk w)) in
     Array.iter Domain.join handles;
+    let first_failure =
+      Array.fold_left
+        (fun acc cur ->
+          match (acc, cur) with
+          | Some (i, _, _), Some (j, _, _) -> if j < i then cur else acc
+          | None, _ -> cur
+          | _, None -> acc)
+        None failed
+    in
+    (match first_failure with
+    | Some (index, exn, bt) -> wrap_failure ~index exn bt
+    | None -> ());
     if Fn_obs.Sink.enabled obs then begin
       let slowest = Array.fold_left max 0.0 seconds in
       let mean = Array.fold_left ( +. ) 0.0 seconds /. float_of_int workers in

@@ -10,6 +10,14 @@ val default_domains : unit -> int
 (** Number of domains to use by default: the runtime's recommended
     count, clamped to [1, 8].  Override per call with [?domains]. *)
 
+exception Job_failed of { index : int; exn : exn }
+(** Raised on the joining domain when a job raised: [index] is the
+    input position whose job failed and [exn] the original exception
+    (re-raised with the worker's backtrace).  When jobs fail in
+    several chunks, the lowest failing index wins deterministically.
+    The sequential fallback raises the same exception, so callers see
+    one failure shape whatever the parallelism. *)
+
 val map : ?obs:Fn_obs.Sink.t -> ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map f a] applies [f] to every element, distributing contiguous
     chunks over domains.  Result order matches input order.  [f] must
@@ -19,7 +27,12 @@ val map : ?obs:Fn_obs.Sink.t -> ?domains:int -> ('a -> 'b) -> 'a array -> 'b arr
     With an enabled [obs] sink each worker emits a ["par.domain"]
     instant (chunk bounds and wall seconds) and the fork-join sets the
     [par.domains] / [par.max_seconds] / [par.imbalance] gauges in
-    {!Fn_obs.Metrics.default}; instrumentation never changes results. *)
+    {!Fn_obs.Metrics.default}; instrumentation never changes results.
+
+    A job exception does not kill the fork-join silently: every
+    spawned domain is still joined, then {!Job_failed} is raised with
+    the failing job's index.  For retry-instead-of-raise semantics see
+    [Fn_resilience.Supervisor.trials]. *)
 
 val init : ?obs:Fn_obs.Sink.t -> ?domains:int -> int -> (int -> 'b) -> 'b array
 (** [init n f] is [map f [|0; ...; n-1|]] without building the input

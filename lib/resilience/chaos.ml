@@ -1,0 +1,52 @@
+type event = Pass | Raise_fault | Delay of float
+
+exception Injected of { scope : string; attempt : int }
+
+let () =
+  Printexc.register_printer (function
+    | Injected { scope; attempt } ->
+      Some (Printf.sprintf "Fn_resilience.Chaos.Injected(%s, attempt %d)" scope attempt)
+    | _ -> None)
+
+(* A tiny keyed hash over (seed, scope, attempt) via the SplitMix64
+   finalizer: cheap, stateless, and order-independent — the decision
+   for a given attempt never depends on which domain runs it or on
+   what ran before. *)
+let derive ~chaos_seed ~scope ~attempt =
+  let h = ref (Fn_prng.Splitmix64.mix (Int64.of_int chaos_seed)) in
+  String.iter
+    (fun c -> h := Fn_prng.Splitmix64.mix (Int64.logxor !h (Int64.of_int (Char.code c))))
+    scope;
+  h := Fn_prng.Splitmix64.mix (Int64.logxor !h (Int64.of_int (attempt + 1)));
+  Fn_prng.Rng.of_int64 !h
+
+let plan ~(policy : Policy.t) ~scope ~attempt =
+  if policy.Policy.chaos <= 0.0 then Pass
+  else begin
+    let rng = derive ~chaos_seed:policy.Policy.chaos_seed ~scope ~attempt in
+    if not (Fn_prng.Rng.bernoulli rng policy.Policy.chaos) then Pass
+    else if Fn_prng.Rng.bool rng then Raise_fault
+    else Delay (0.001 +. Fn_prng.Rng.float rng 0.004)
+  end
+
+let record ~obs ~scope ~attempt kind extra =
+  if Fn_obs.Sink.enabled obs then begin
+    Fn_obs.Metrics.incr (Fn_obs.Metrics.counter "resilience.chaos_injections");
+    Fn_obs.Span.instant obs "resilience.chaos"
+      ~fields:
+        ([
+           ("scope", Fn_obs.Sink.Str scope);
+           ("attempt", Fn_obs.Sink.Int attempt);
+           ("inject", Fn_obs.Sink.Str kind);
+         ]
+        @ extra)
+  end
+
+let apply ~obs ~scope ~attempt = function
+  | Pass -> ()
+  | Delay d ->
+    record ~obs ~scope ~attempt "delay" [ ("seconds", Fn_obs.Sink.Float d) ];
+    Unix.sleepf d
+  | Raise_fault ->
+    record ~obs ~scope ~attempt "raise" [];
+    raise (Injected { scope; attempt })

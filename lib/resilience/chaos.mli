@@ -1,0 +1,33 @@
+(** Deterministic fault injection — the harness's own adversary.
+
+    The paper subjects networks to adversarial and random faults; this
+    module does the same to the experiment runner, so the supervisor's
+    retry / deadline / journal machinery is exercised on every CI run
+    instead of only on the rare real crash.
+
+    Injection decisions are a pure function of
+    [(chaos_seed, scope, attempt)] — independent of domain scheduling
+    and of the experiment's own random stream.  A supervised task that
+    survives its injected faults therefore produces byte-identical
+    results with chaos on or off, which is exactly the property
+    [@chaos-smoke] checks. *)
+
+type event =
+  | Pass  (** no injection for this attempt *)
+  | Raise_fault  (** raise {!Injected} before the task body runs *)
+  | Delay of float  (** sleep this many seconds first (1-5 ms), tripping tight deadlines *)
+
+exception Injected of { scope : string; attempt : int }
+(** The synthetic crash.  Ordinary code never catches it; only the
+    supervisor does (as a {!Failure.Crashed}), which is the point. *)
+
+val plan : policy:Policy.t -> scope:string -> attempt:int -> event
+(** Decide what happens to attempt [attempt] (0-based) of [scope].
+    With [policy.chaos = 0.] this is always {!Pass} and costs no
+    random draws.  Injections split evenly between {!Raise_fault} and
+    {!Delay}. *)
+
+val apply : obs:Fn_obs.Sink.t -> scope:string -> attempt:int -> event -> unit
+(** Execute the plan: no-op, sleep, or raise {!Injected}; emits a
+    ["resilience.chaos"] instant and bumps the
+    [resilience.chaos_injections] counter when a sink is enabled. *)

@@ -1,0 +1,41 @@
+type t =
+  | Timeout of float
+  | Crashed of exn * string
+  | Cancelled
+  | Gave_up of int
+
+exception
+  Supervision_failed of {
+    scope : string;
+    failure : t;
+    causes : t list;
+  }
+
+let to_string = function
+  | Timeout s -> Printf.sprintf "timeout after %.3fs" s
+  | Crashed (e, _) -> "crashed: " ^ Printexc.to_string e
+  | Cancelled -> "cancelled"
+  | Gave_up attempts -> Printf.sprintf "gave up after %d attempt(s)" attempts
+
+let to_json t =
+  let open Fn_obs.Jsonx in
+  match t with
+  | Timeout s -> Obj [ ("kind", Str "timeout"); ("seconds", Float s) ]
+  | Crashed (e, bt) ->
+    Obj [ ("kind", Str "crashed"); ("exn", Str (Printexc.to_string e)); ("backtrace", Str bt) ]
+  | Cancelled -> Obj [ ("kind", Str "cancelled") ]
+  | Gave_up attempts -> Obj [ ("kind", Str "gave_up"); ("attempts", Int attempts) ]
+
+let retryable = function
+  | Out_of_memory | Stack_overflow | Supervision_failed _ -> false
+  | _ -> true
+
+let () =
+  Printexc.register_printer (function
+    | Supervision_failed { scope; failure; causes } ->
+      Some
+        (Printf.sprintf "Fn_resilience: task %S %s%s" scope (to_string failure)
+           (match causes with
+           | [] -> ""
+           | cs -> " [" ^ String.concat "; " (List.map to_string cs) ^ "]"))
+    | _ -> None)

@@ -1,0 +1,47 @@
+(** Structured failure taxonomy for supervised execution.
+
+    Every way a supervised task can end other than success is one of
+    these four constructors.  The taxonomy is deliberately closed: the
+    supervisor, the observability events, the journal and the tests
+    all agree on exactly what can go wrong. *)
+
+type t =
+  | Timeout of float
+      (** The attempt finished but took longer than the policy
+          deadline; the payload is the measured wall seconds.  OCaml
+          cannot preempt a running domain, so deadlines are detected
+          at attempt completion (and exercised by chaos-injected
+          delays), not by killing the task mid-flight. *)
+  | Crashed of exn * string
+      (** The attempt raised; the payload is the exception and its
+          captured backtrace (empty when backtrace recording is
+          off). *)
+  | Cancelled  (** The cancellation probe returned [true] before the attempt. *)
+  | Gave_up of int
+      (** Every attempt failed; the payload is the number of attempts
+          made (first try + retries). *)
+
+exception
+  Supervision_failed of {
+    scope : string;  (** which supervised task failed, e.g. ["E5/p=0.05"] *)
+    failure : t;  (** the final verdict, usually {!Gave_up} or {!Cancelled} *)
+    causes : t list;  (** per-attempt failures, oldest first *)
+  }
+(** Raised by [Supervisor.protect] / [Supervisor.trials] when a task
+    is out of attempts.  Registered with a human-readable
+    [Printexc] printer. *)
+
+val to_string : t -> string
+(** One-line rendering, e.g. ["crashed: Not_found"] or
+    ["timeout after 1.203s"]. *)
+
+val to_json : t -> Fn_obs.Jsonx.t
+(** [{"kind":"timeout","seconds":...}]-style object for traces and
+    journals. *)
+
+val retryable : exn -> bool
+(** [false] for exceptions a retry cannot fix and must not swallow:
+    [Out_of_memory], [Stack_overflow] and nested
+    {!Supervision_failed} (an inner scope already exhausted its own
+    budget).  The supervisor re-raises these instead of recording a
+    {!Crashed}. *)

@@ -1,0 +1,219 @@
+module J = Fn_obs.Jsonx
+
+type t = {
+  path : string;
+  oc : out_channel;
+  lock : Mutex.t;
+  trials : (string * int, J.t) Hashtbl.t;
+  outcomes : (string, J.t) Hashtbl.t;
+  recovered : int;
+  torn : int;
+}
+
+type 'a codec = {
+  encode : 'a -> J.t;
+  decode : J.t -> 'a option;
+}
+
+let int_codec =
+  { encode = (fun n -> J.Int n); decode = (function J.Int n -> Some n | _ -> None) }
+
+(* Hex float literals ("%h") round-trip exactly; Jsonx's decimal
+   rendering does not, and resume must be bit-exact. *)
+let float_codec =
+  {
+    encode = (fun x -> J.Str (Printf.sprintf "%h" x));
+    decode =
+      (function
+      | J.Str s -> (
+        try Some (Scanf.sscanf s "%h%!" Fun.id)
+        with Scanf.Scan_failure _ | End_of_file | Stdlib.Failure _ -> None)
+      | J.Float x -> Some x
+      | J.Int n -> Some (float_of_int n)
+      | _ -> None);
+  }
+
+let string_codec =
+  { encode = (fun s -> J.Str s); decode = (function J.Str s -> Some s | _ -> None) }
+
+let json_codec = { encode = Fun.id; decode = (fun v -> Some v) }
+
+let array_codec c =
+  {
+    encode = (fun a -> J.List (Array.to_list (Array.map c.encode a)));
+    decode =
+      (function
+      | J.List items ->
+        let decoded = List.map c.decode items in
+        if List.for_all Option.is_some decoded then
+          Some (Array.of_list (List.map Option.get decoded))
+        else None
+      | _ -> None);
+  }
+
+let with_lock lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* Classify one journal line.  Anything that does not parse into a
+   known shape is "torn" — most likely the tail of a line cut short by
+   a kill — and is skipped rather than treated as fatal. *)
+type line = Meta of J.t | Trial of string * int * J.t | Outcome of string * J.t | Torn
+
+let classify line =
+  match J.parse line with
+  | None -> Torn
+  | Some json -> (
+    match J.member "kind" json with
+    | Some (J.Str "meta") -> Meta json
+    | Some (J.Str "trial") -> (
+      match (J.member "scope" json, J.member "index" json, J.member "value" json) with
+      | Some (J.Str scope), Some (J.Int index), Some value -> Trial (scope, index, value)
+      | _ -> Torn)
+    | Some (J.Str "outcome") -> (
+      match (J.member "id" json, J.member "value" json) with
+      | Some (J.Str id), Some value -> Outcome (id, value)
+      | _ -> Torn)
+    | _ -> Torn)
+
+(* A file killed mid-write ends without a newline; appending straight
+   after would glue the next record onto the torn fragment. *)
+let ends_with_newline path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      len = 0
+      ||
+      (seek_in ic (len - 1);
+       input_char ic = '\n'))
+
+let meta_line meta =
+  J.to_string (J.Obj (("kind", J.Str "meta") :: ("version", J.Int 1) :: meta))
+
+(* The stored header must agree with the requested binding on every
+   requested key; extra informational fields in the header are fine. *)
+let check_meta ~requested stored =
+  let mismatch =
+    List.find_opt
+      (fun (key, want) ->
+        match J.member key stored with
+        | Some got -> J.to_string got <> J.to_string want
+        | None -> true)
+      requested
+  in
+  match mismatch with
+  | None -> Ok ()
+  | Some (key, want) ->
+    Error
+      (Printf.sprintf "journal meta mismatch on %S: journal has %s, run has %s" key
+         (match J.member key stored with Some got -> J.to_string got | None -> "nothing")
+         (J.to_string want))
+
+let open_ ~path ~meta =
+  let trials = Hashtbl.create 64 in
+  let outcomes = Hashtbl.create 16 in
+  let lines = if Sys.file_exists path then read_lines path else [] in
+  let classified = List.map classify lines in
+  let torn =
+    List.length (List.filter (function Torn -> true | _ -> false) classified)
+  in
+  let recovered = ref 0 in
+  let meta_check =
+    List.fold_left
+      (fun acc l ->
+        match (acc, l) with
+        | Error _, _ -> acc
+        | Ok _, Meta stored -> check_meta ~requested:meta stored
+        | Ok _, Trial (scope, index, value) ->
+          incr recovered;
+          Hashtbl.replace trials (scope, index) value;
+          acc
+        | Ok _, Outcome (id, value) ->
+          incr recovered;
+          Hashtbl.replace outcomes id value;
+          acc
+        | Ok _, Torn -> acc)
+      (Ok ()) classified
+  in
+  match meta_check with
+  | Error _ as e -> e
+  | Ok () ->
+    let has_meta = List.exists (function Meta _ -> true | _ -> false) classified in
+    if (not has_meta) && lines <> [] && torn < List.length lines then
+      Error (Printf.sprintf "journal %s has records but no meta header" path)
+    else begin
+      let fresh = not has_meta in
+      let needs_newline = (not fresh) && not (ends_with_newline path) in
+      let oc =
+        if fresh then open_out_gen [ Open_wronly; Open_trunc; Open_creat ] 0o644 path
+        else open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
+      in
+      if fresh then begin
+        output_string oc (meta_line meta);
+        output_char oc '\n';
+        flush oc
+      end
+      else if needs_newline then begin
+        (* terminate the torn tail so the next record starts clean *)
+        output_char oc '\n';
+        flush oc
+      end;
+      Ok
+        {
+          path;
+          oc;
+          lock = Mutex.create ();
+          trials;
+          outcomes;
+          recovered = !recovered;
+          torn;
+        }
+    end
+
+let append t json =
+  with_lock t.lock (fun () ->
+      output_string t.oc (J.to_string json);
+      output_char t.oc '\n';
+      flush t.oc)
+
+let record_trial t ~scope ~index value =
+  with_lock t.lock (fun () -> Hashtbl.replace t.trials (scope, index) value);
+  append t
+    (J.Obj
+       [
+         ("kind", J.Str "trial");
+         ("scope", J.Str scope);
+         ("index", J.Int index);
+         ("value", value);
+       ])
+
+let find_trial t ~scope ~index =
+  with_lock t.lock (fun () -> Hashtbl.find_opt t.trials (scope, index))
+
+let record_outcome t ~id value =
+  with_lock t.lock (fun () -> Hashtbl.replace t.outcomes id value);
+  append t (J.Obj [ ("kind", J.Str "outcome"); ("id", J.Str id); ("value", value) ])
+
+let find_outcome t ~id = with_lock t.lock (fun () -> Hashtbl.find_opt t.outcomes id)
+let path t = t.path
+let recovered t = t.recovered
+let torn t = t.torn
+
+let close t =
+  with_lock t.lock (fun () ->
+      flush t.oc;
+      close_out_noerr t.oc)

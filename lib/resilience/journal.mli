@@ -1,0 +1,68 @@
+(** Append-only JSONL checkpoint journal for resumable sweeps.
+
+    One line per completed unit of work: trial rows
+    ([{"kind":"trial","scope":...,"index":...,"value":...}]) written
+    by [Supervisor.trials], and outcome rows
+    ([{"kind":"outcome","id":"E5","value":{...}}]) written by
+    [Fn_experiments.Registry.run_entry] when an experiment finishes.
+    Every record is flushed before the call returns, so a killed
+    process loses at most the line it was writing — and {!open_}
+    skips a torn final line instead of refusing the file.
+
+    The first line is a meta header binding the journal to the run
+    parameters that determine results (seed, quick).  Re-opening with
+    different binding meta is an error: resuming a seed-1 sweep into a
+    seed-2 journal would silently splice two different experiments. *)
+
+type t
+
+type 'a codec = {
+  encode : 'a -> Fn_obs.Jsonx.t;
+  decode : Fn_obs.Jsonx.t -> 'a option;  (** [None] = unreadable, treat as not journaled *)
+}
+(** How [Supervisor.trials] serializes one trial result.  Decoding
+    must be exact — a resumed sweep has to reproduce the uninterrupted
+    run byte for byte — hence the hex-float codecs below. *)
+
+val int_codec : int codec
+
+val float_codec : float codec
+(** Floats round-trip through ["%h"] hex literals: exact to the last
+    bit, unlike the human-oriented decimal rendering of
+    {!Fn_obs.Jsonx.to_string}. *)
+
+val string_codec : string codec
+
+val json_codec : Fn_obs.Jsonx.t codec
+(** Identity — for callers that already speak JSON. *)
+
+val array_codec : 'a codec -> 'a array codec
+
+val open_ : path:string -> meta:(string * Fn_obs.Jsonx.t) list -> (t, string) result
+(** Open (creating or resuming) the journal at [path].  On an
+    existing journal, every well-formed line is loaded for
+    {!find_trial} / {!find_outcome} replay and appending continues
+    after it; the stored meta header must agree with [meta] on every
+    given key.  [Error] carries a human-readable reason (meta
+    mismatch, unreadable header). *)
+
+val record_trial : t -> scope:string -> index:int -> Fn_obs.Jsonx.t -> unit
+(** Append one completed trial.  Thread-safe; flushes. *)
+
+val find_trial : t -> scope:string -> index:int -> Fn_obs.Jsonx.t option
+
+val record_outcome : t -> id:string -> Fn_obs.Jsonx.t -> unit
+(** Append one completed experiment outcome.  Thread-safe; flushes. *)
+
+val find_outcome : t -> id:string -> Fn_obs.Jsonx.t option
+
+val path : t -> string
+
+val recovered : t -> int
+(** Records successfully loaded from a pre-existing file at open time. *)
+
+val torn : t -> int
+(** Malformed lines skipped at open time (normally 0 or, after a kill
+    mid-write, 1). *)
+
+val close : t -> unit

@@ -1,0 +1,50 @@
+type t = {
+  deadline_s : float option;
+  retries : int;
+  backoff_base_s : float;
+  backoff_factor : float;
+  backoff_cap_s : float;
+  chaos : float;
+  chaos_seed : int;
+}
+
+let default =
+  {
+    deadline_s = None;
+    retries = 2;
+    backoff_base_s = 0.01;
+    backoff_factor = 2.0;
+    backoff_cap_s = 1.0;
+    chaos = 0.0;
+    chaos_seed = 0;
+  }
+
+let make ?deadline_s ?(retries = default.retries) ?(backoff_base_s = default.backoff_base_s)
+    ?(backoff_factor = default.backoff_factor) ?(backoff_cap_s = default.backoff_cap_s)
+    ?(chaos = default.chaos) ?(chaos_seed = default.chaos_seed) () =
+  (match deadline_s with
+  | Some d when d <= 0.0 -> invalid_arg "Policy.make: deadline_s must be positive"
+  | _ -> ());
+  if retries < 0 then invalid_arg "Policy.make: retries must be >= 0";
+  if backoff_base_s < 0.0 || backoff_cap_s < 0.0 || backoff_factor < 1.0 then
+    invalid_arg "Policy.make: backoff must be non-negative with factor >= 1";
+  if chaos < 0.0 || chaos > 1.0 then invalid_arg "Policy.make: chaos must be in [0,1]";
+  { deadline_s; retries; backoff_base_s; backoff_factor; backoff_cap_s; chaos; chaos_seed }
+
+let backoff_s t ~attempt =
+  if attempt < 1 then invalid_arg "Policy.backoff_s: attempt is 1-based";
+  Float.min t.backoff_cap_s
+    (t.backoff_base_s *. (t.backoff_factor ** float_of_int (attempt - 1)))
+
+let to_json t =
+  let open Fn_obs.Jsonx in
+  Obj
+    [
+      ("deadline_s", match t.deadline_s with None -> Null | Some d -> Float d);
+      ("retries", Int t.retries);
+      ("backoff_base_s", Float t.backoff_base_s);
+      ("backoff_factor", Float t.backoff_factor);
+      ("backoff_cap_s", Float t.backoff_cap_s);
+      ("chaos", Float t.chaos);
+      ("chaos_seed", Int t.chaos_seed);
+    ]

@@ -1,0 +1,51 @@
+(** The knobs of supervised execution, as one plain record.
+
+    A policy travels with [Workload.config] from the command line down
+    to every supervised call site.  {!default} is inert by
+    construction: no deadline, no chaos, and retries that can only
+    fire if a task actually crashes — so threading a policy through a
+    code path cannot change its fault-free behavior. *)
+
+type t = {
+  deadline_s : float option;
+      (** Per-attempt wall-clock budget; [None] = unlimited.  Checked
+          when the attempt completes (cooperative, not preemptive). *)
+  retries : int;  (** extra attempts after the first; 0 = fail fast *)
+  backoff_base_s : float;  (** pause before the first retry *)
+  backoff_factor : float;  (** multiplier per further retry *)
+  backoff_cap_s : float;  (** upper bound on any single pause *)
+  chaos : float;
+      (** probability in [0,1] that an attempt gets a fault injected
+          (exception or delay); 0 = chaos off *)
+  chaos_seed : int;
+      (** chaos stream seed, independent of the experiment seed so
+          injection patterns can vary while results stay fixed *)
+}
+
+val default : t
+(** [{deadline_s = None; retries = 2; backoff_base_s = 0.01;
+    backoff_factor = 2.0; backoff_cap_s = 1.0; chaos = 0.0;
+    chaos_seed = 0}] *)
+
+val make :
+  ?deadline_s:float ->
+  ?retries:int ->
+  ?backoff_base_s:float ->
+  ?backoff_factor:float ->
+  ?backoff_cap_s:float ->
+  ?chaos:float ->
+  ?chaos_seed:int ->
+  unit ->
+  t
+(** Keyword constructor over {!default}.
+    @raise Invalid_argument on a negative retry count, a non-positive
+    deadline, a negative backoff, or chaos outside [0,1]. *)
+
+val backoff_s : t -> attempt:int -> float
+(** Pause before retry [attempt] (1-based): deterministically
+    [backoff_base_s *. backoff_factor ^ (attempt - 1)], capped at
+    [backoff_cap_s].  No jitter — retry schedules must be reproducible
+    like everything else in this repository. *)
+
+val to_json : t -> Fn_obs.Jsonx.t
+(** Informational rendering for journal headers and traces. *)

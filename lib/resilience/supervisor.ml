@@ -1,0 +1,198 @@
+module Rng = Fn_prng.Rng
+module Sink = Fn_obs.Sink
+module Span = Fn_obs.Span
+module Metrics = Fn_obs.Metrics
+
+let failure_counter = function
+  | Failure.Timeout _ -> "resilience.timeouts"
+  | Failure.Crashed _ -> "resilience.crashes"
+  | Failure.Cancelled -> "resilience.cancellations"
+  | Failure.Gave_up _ -> "resilience.gave_up"
+
+let emit_failed ~obs ~scope ~attempt failure =
+  if Sink.enabled obs then begin
+    Metrics.incr (Metrics.counter (failure_counter failure));
+    Span.instant obs "resilience.attempt_failed"
+      ~fields:
+        [
+          ("scope", Sink.Str scope);
+          ("attempt", Sink.Int attempt);
+          ("failure", Sink.Str (Failure.to_string failure));
+        ]
+  end
+
+let emit_retry ~obs ~scope ~attempt ~pause =
+  if Sink.enabled obs then begin
+    Metrics.incr (Metrics.counter "resilience.retries");
+    Span.instant obs "resilience.retry"
+      ~fields:
+        [
+          ("scope", Sink.Str scope);
+          ("attempt", Sink.Int attempt);
+          ("backoff_s", Sink.Float pause);
+        ]
+  end
+
+let emit_gave_up ~obs ~scope ~attempts =
+  if Sink.enabled obs then
+    Span.instant obs "resilience.gave_up"
+      ~fields:[ ("scope", Sink.Str scope); ("attempts", Sink.Int attempts) ]
+
+(* One attempt: chaos, the task body, then the post-hoc deadline
+   check.  Failure rolls the task's rng back to its pre-attempt
+   snapshot so the next attempt re-reads the same random stream. *)
+let attempt_once ~obs ~(policy : Policy.t) ~scope ~attempt ~rng f =
+  let snapshot = Option.map Rng.copy rng in
+  let rollback () =
+    match (rng, snapshot) with
+    | Some r, Some s -> Rng.restore r ~from:s
+    | _ -> ()
+  in
+  let timed = Option.is_some policy.Policy.deadline_s in
+  let start_ns = if timed then Fn_obs.Clock.now_ns () else 0 in
+  let outcome =
+    try
+      Chaos.apply ~obs ~scope ~attempt (Chaos.plan ~policy ~scope ~attempt);
+      Ok (f ())
+    with e when Failure.retryable e ->
+      Error (Failure.Crashed (e, Printexc.get_backtrace ()))
+  in
+  match outcome with
+  | Ok v -> (
+    match policy.Policy.deadline_s with
+    | Some budget ->
+      let elapsed = Fn_obs.Clock.elapsed_s ~since_ns:start_ns in
+      if elapsed > budget then begin
+        rollback ();
+        Error (Failure.Timeout elapsed)
+      end
+      else Ok v
+    | None -> Ok v)
+  | Error _ as e ->
+    rollback ();
+    e
+
+(* The retry loop shared by [run] and the sequential phase of
+   [trials]: attempt [attempt], then backoff-and-retry on failure
+   until the policy is exhausted. *)
+let rec supervise ~obs ~policy ~scope ~cancelled ~rng ~attempt ~causes f =
+  if cancelled () then begin
+    emit_failed ~obs ~scope ~attempt Failure.Cancelled;
+    Error (Failure.Cancelled, List.rev causes)
+  end
+  else
+    match attempt_once ~obs ~policy ~scope ~attempt ~rng f with
+    | Ok v -> Ok v
+    | Error failure ->
+      emit_failed ~obs ~scope ~attempt failure;
+      let causes = failure :: causes in
+      if attempt >= policy.Policy.retries then begin
+        emit_gave_up ~obs ~scope ~attempts:(attempt + 1);
+        Error (Failure.Gave_up (attempt + 1), List.rev causes)
+      end
+      else begin
+        let next = attempt + 1 in
+        let pause = Policy.backoff_s policy ~attempt:next in
+        emit_retry ~obs ~scope ~attempt:next ~pause;
+        if pause > 0.0 then Unix.sleepf pause;
+        supervise ~obs ~policy ~scope ~cancelled ~rng ~attempt:next ~causes f
+      end
+
+let never_cancelled () = false
+
+let run ?(obs = Sink.null) ?rng ?(cancelled = never_cancelled) ~policy ~scope f =
+  supervise ~obs ~policy ~scope ~cancelled ~rng ~attempt:0 ~causes:[] f
+
+let protect ?obs ?rng ?cancelled ~policy ~scope f =
+  match run ?obs ?rng ?cancelled ~policy ~scope f with
+  | Ok v -> v
+  | Error (failure, causes) ->
+    raise (Failure.Supervision_failed { scope; failure; causes })
+
+let trials ?(obs = Sink.null) ?domains ?checkpoint ?(cancelled = never_cancelled)
+    ~policy ~scope ~rng n job =
+  if n < 0 then invalid_arg "Supervisor.trials: negative trial count";
+  let rngs = Rng.split_n rng n in
+  let scope_of i = Printf.sprintf "%s[%d]" scope i in
+  let record i v =
+    match checkpoint with
+    | Some (journal, codec) ->
+      Journal.record_trial journal ~scope ~index:i (codec.Journal.encode v)
+    | None -> ()
+  in
+  let replay i =
+    match checkpoint with
+    | Some (journal, codec) -> (
+      match Journal.find_trial journal ~scope ~index:i with
+      | Some stored -> codec.Journal.decode stored
+      | None -> None)
+    | None -> None
+  in
+  let out = Array.make n None in
+  let pending = ref [] in
+  for i = n - 1 downto 0 do
+    match replay i with
+    | Some v -> out.(i) <- Some v
+    | None -> pending := i :: !pending
+  done;
+  let pending = Array.of_list !pending in
+  let resumed = n - Array.length pending in
+  if resumed > 0 && Sink.enabled obs then begin
+    Metrics.add (Metrics.counter "resilience.trials_resumed") resumed;
+    Span.instant obs "resilience.resume_skip"
+      ~fields:
+        [ ("scope", Sink.Str scope); ("skipped", Sink.Int resumed); ("total", Sink.Int n) ]
+  end;
+  (* Phase 1: one parallel attempt per pending trial.  Each job
+     captures its own failure as data, so one crashing trial cannot
+     kill the fork-join or its siblings; successes are journaled
+     immediately, from the worker domain. *)
+  let first_attempts =
+    Fn_parallel.Par.map ~obs ?domains
+      (fun i ->
+        let result =
+          attempt_once ~obs ~policy ~scope:(scope_of i) ~attempt:0 ~rng:(Some rngs.(i))
+            (fun () -> job rngs.(i))
+        in
+        (match result with Ok v -> record i v | Error _ -> ());
+        result)
+      pending
+  in
+  (* Phase 2: only the trials that failed, retried sequentially on the
+     joining domain under the normal backoff schedule. *)
+  Array.iteri
+    (fun k result ->
+      let i = pending.(k) in
+      match result with
+      | Ok v -> out.(i) <- Some v
+      | Error first_failure ->
+        let scope_i = scope_of i in
+        emit_failed ~obs ~scope:scope_i ~attempt:0 first_failure;
+        if policy.Policy.retries = 0 then begin
+          emit_gave_up ~obs ~scope:scope_i ~attempts:1;
+          raise
+            (Failure.Supervision_failed
+               { scope = scope_i; failure = Failure.Gave_up 1; causes = [ first_failure ] })
+        end
+        else begin
+          let pause = Policy.backoff_s policy ~attempt:1 in
+          emit_retry ~obs ~scope:scope_i ~attempt:1 ~pause;
+          if pause > 0.0 then Unix.sleepf pause;
+          match
+            supervise ~obs ~policy ~scope:scope_i ~cancelled ~rng:(Some rngs.(i))
+              ~attempt:1
+              ~causes:[ first_failure ]
+              (fun () -> job rngs.(i))
+          with
+          | Ok v ->
+            record i v;
+            out.(i) <- Some v
+          | Error (failure, causes) ->
+            raise (Failure.Supervision_failed { scope = scope_i; failure; causes })
+        end)
+    first_attempts;
+  Array.map
+    (function
+      | Some v -> v
+      | None -> invalid_arg "Supervisor.trials: missing result (unreachable)")
+    out

@@ -1,0 +1,81 @@
+(** Supervised execution: deadlines, bounded deterministic retry,
+    crash-isolated parallel trials, and checkpoint replay.
+
+    The contract every entry point honors:
+
+    - {b Determinism.}  A supervised task that eventually succeeds
+      returns exactly what the unsupervised task would have returned.
+      Before each attempt the task's [rng] is snapshotted and on
+      failure restored, so a retried task re-reads the same random
+      stream; backoff pauses are fixed by the policy (no jitter); and
+      chaos decisions are keyed hashes, not draws from the task's
+      stream.
+    - {b Containment.}  A crash in one parallel trial is captured on
+      its own domain and retried sequentially after the fork-join
+      completes — it never tears down sibling trials that already did
+      their work.
+    - {b Honesty.}  When the policy is exhausted the supervisor raises
+      {!Failure.Supervision_failed} carrying the complete attempt
+      history; nothing is swallowed. *)
+
+val run :
+  ?obs:Fn_obs.Sink.t ->
+  ?rng:Fn_prng.Rng.t ->
+  ?cancelled:(unit -> bool) ->
+  policy:Policy.t ->
+  scope:string ->
+  (unit -> 'a) ->
+  ('a, Failure.t * Failure.t list) result
+(** Run [f] under [policy].  Attempts are numbered from 0; each gets
+    chaos injection (if enabled), then [f], then a post-hoc deadline
+    check — OCaml domains cannot be preempted, so a deadline converts
+    an over-budget {e completed} attempt into {!Failure.Timeout}
+    rather than interrupting it.  On failure the [rng] (if given) is
+    rolled back, the backoff pause elapses, and the next attempt runs,
+    up to [policy.retries] retries.
+
+    [Error (failure, causes)] gives the final verdict plus every
+    per-attempt failure in order.  [cancelled] is polled between
+    attempts ([Failure.Cancelled]).  Non-retryable exceptions
+    ([Out_of_memory], [Stack_overflow], a nested
+    [Supervision_failed]) propagate immediately with their backtrace. *)
+
+val protect :
+  ?obs:Fn_obs.Sink.t ->
+  ?rng:Fn_prng.Rng.t ->
+  ?cancelled:(unit -> bool) ->
+  policy:Policy.t ->
+  scope:string ->
+  (unit -> 'a) ->
+  'a
+(** {!run}, raising {!Failure.Supervision_failed} instead of
+    returning [Error]. *)
+
+val trials :
+  ?obs:Fn_obs.Sink.t ->
+  ?domains:int ->
+  ?checkpoint:Journal.t * 'a Journal.codec ->
+  ?cancelled:(unit -> bool) ->
+  policy:Policy.t ->
+  scope:string ->
+  rng:Fn_prng.Rng.t ->
+  int ->
+  (Fn_prng.Rng.t -> 'a) ->
+  'a array
+(** [trials ~policy ~scope ~rng n job] runs [job] on [n]
+    independently-seeded generators ([Rng.split_n rng n] — results do
+    not depend on [domains]) and returns the results in index order.
+
+    Trial [i] is supervised under scope ["scope[i]"].  The first
+    attempt of every pending trial runs inside one [Fn_par.map]
+    fork-join with per-trial crash capture: a failing trial surfaces
+    as data, and only the failures are then retried — sequentially,
+    with backoff, on the joining domain.
+
+    With [checkpoint = (journal, codec)], trials already present in
+    the journal are replayed instead of re-run, and each fresh success
+    is recorded (and flushed) the moment it completes, from whichever
+    domain computed it.
+
+    @raise Failure.Supervision_failed on the first trial whose policy
+    is exhausted (lowest index wins). *)

@@ -150,6 +150,36 @@ let test_churn_starts_alive () =
   | [ s ] -> check_bool "nearly all alive" true (Fault_set.count s.Churn.faults <= 1)
   | _ -> Alcotest.fail "expected one snapshot"
 
+let test_churn_stationary_convergence () =
+  (* average over many independent trajectories: the end-of-horizon dead
+     fraction converges to rate_fail / (rate_fail + rate_repair) *)
+  let g, _ = Fn_topology.Mesh.cube ~d:2 ~side:8 in
+  let rate_fail = 0.4 and rate_repair = 0.6 in
+  let fracs =
+    Fn_parallel.Par.trials ~domains:4 ~rng:(rng ()) 32 (fun r ->
+        match
+          Churn.simulate r g ~rate_fail ~rate_repair ~horizon:50.0 ~snapshots:1
+        with
+        | [ s ] -> float_of_int (Fault_set.count s.Churn.faults) /. 64.0
+        | _ -> Alcotest.fail "expected one snapshot")
+  in
+  let mean = Array.fold_left ( +. ) 0.0 fracs /. 32.0 in
+  check_float_eps 0.05 "converges to stationary dead fraction"
+    (Churn.stationary_dead_fraction ~rate_fail ~rate_repair)
+    mean
+
+let test_churn_parallel_trajectories () =
+  (* split-rng trials: churn trajectories do not depend on how many
+     domains computed them *)
+  let g, _ = Fn_topology.Mesh.cube ~d:2 ~side:8 in
+  let run domains =
+    Fn_parallel.Par.trials ~domains ~rng:(rng ()) 8 (fun r ->
+        Churn.simulate r g ~rate_fail:0.3 ~rate_repair:0.7 ~horizon:20.0 ~snapshots:10
+        |> List.map (fun s ->
+               (s.Churn.time, Bitset.to_list s.Churn.faults.Fault_set.faulty)))
+  in
+  check_bool "domains=1 = domains=4" true (run 1 = run 4)
+
 let test_churn_validation () =
   let g = Fn_topology.Basic.path 4 in
   Alcotest.check_raises "rates" (Invalid_argument "Churn.simulate: rates must be positive")
@@ -191,6 +221,8 @@ let () =
           case "occupancy" test_churn_occupancy;
           case "snapshot times" test_churn_snapshot_times;
           case "starts alive" test_churn_starts_alive;
+          case "stationary convergence" test_churn_stationary_convergence;
+          case "parallel trajectories" test_churn_parallel_trajectories;
           case "validation" test_churn_validation;
         ] );
     ]

@@ -159,6 +159,18 @@ let test_no_raw_timing () =
   check_bool "qualified submodule ok" false (hit "let t = My.Unix.gettimeofday ()");
   check_bool "comment mention ok" false (hit "(* Unix.gettimeofday is banned *) let x = 1")
 
+let test_no_exit_in_lib () =
+  let hit ?path src = List.mem "no-exit-in-lib" (rules_hit (lint ?path src)) in
+  check_bool "exit in lib" true (hit "let f bad = if bad then exit 1 else 0");
+  check_bool "Stdlib.exit in lib" true (hit "let f () = Stdlib.exit 2");
+  check_bool "let exit definition ok" false (hit "let exit sp = finish sp");
+  check_bool "qualified Span.exit ok" false (hit "let () = Span.exit sp true");
+  check_bool "bin may exit" false (hit ~path:"bin/tool.ml" "let () = exit 1");
+  check_bool "test may exit" false (hit ~path:"test/t.ml" "let () = exit 1");
+  check_bool "span.ml allowlisted" false
+    (hit ~path:"lib/obs/span.ml" "let exit sp ok = record sp ok let f () = exit s true");
+  check_bool "comment mention ok" false (hit "(* exit would be wrong *) let x = 1")
+
 let test_no_todo_naked () =
   let hit src = List.mem "no-todo-naked" (rules_hit (lint src)) in
   check_bool "naked TODO" true (hit "(* TODO handle overflow *) let x = 1");
@@ -292,6 +304,7 @@ let () =
           Alcotest.test_case "mli-required" `Quick test_mli_required;
           Alcotest.test_case "no-print-in-lib" `Quick test_no_print_in_lib;
           Alcotest.test_case "no-raw-timing" `Quick test_no_raw_timing;
+          Alcotest.test_case "no-exit-in-lib" `Quick test_no_exit_in_lib;
           Alcotest.test_case "no-todo-naked" `Quick test_no_todo_naked;
         ] );
       ( "suppression",

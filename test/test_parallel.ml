@@ -38,6 +38,59 @@ let test_trials_distinct_generators () =
   let distinct = Array.to_list outs |> List.sort_uniq Int64.compare |> List.length in
   check_int "independent streams" 8 distinct
 
+(* Regression: a raising job must surface as Job_failed carrying the
+   job's input index, on both the sequential and the parallel path, and
+   the lowest failing index must win when several chunks fail. *)
+
+let catch_job_failed f =
+  match f () with
+  | (_ : int array) -> Alcotest.fail "expected Job_failed"
+  | exception Par.Job_failed { index; exn } -> (index, exn)
+
+let test_job_failed_sequential () =
+  let input = Array.init 4 Fun.id in
+  let index, exn =
+    catch_job_failed (fun () ->
+        Par.map ~domains:1 (fun i -> if i = 2 then failwith "boom" else i) input)
+  in
+  check_int "failing index" 2 index;
+  check_bool "original exception kept" true (exn = Stdlib.Failure "boom")
+
+let test_job_failed_parallel () =
+  let input = Array.init 16 Fun.id in
+  let index, exn =
+    catch_job_failed (fun () ->
+        Par.map ~domains:4 (fun i -> if i = 10 then failwith "boom" else i) input)
+  in
+  check_int "failing index" 10 index;
+  check_bool "original exception kept" true (exn = Stdlib.Failure "boom")
+
+let test_job_failed_lowest_index_wins () =
+  (* indices 3 and 12 land in different chunks of a 4-domain split *)
+  let input = Array.init 16 Fun.id in
+  let index, _ =
+    catch_job_failed (fun () ->
+        Par.map ~domains:4 (fun i -> if i = 3 || i = 12 then raise Exit else i) input)
+  in
+  check_int "lowest failing index" 3 index
+
+let test_job_failed_siblings_complete () =
+  (* a crash in one chunk stops only that chunk: with 4 domains over 16
+     inputs, failing at index 0 skips the rest of chunk [0..3] while the
+     other 12 jobs still run to completion before the join re-raises *)
+  let ran = Atomic.make 0 in
+  let index, _ =
+    catch_job_failed (fun () ->
+        Par.map ~domains:4
+          (fun i ->
+            Atomic.incr ran;
+            if i = 0 then raise Exit;
+            i)
+          (Array.init 16 Fun.id))
+  in
+  check_int "failing index" 0 index;
+  check_int "sibling chunks ran to completion" 13 (Atomic.get ran)
+
 let test_default_domains_reasonable () =
   let d = Par.default_domains () in
   check_bool "within [1,8]" true (d >= 1 && d <= 8)
@@ -53,6 +106,10 @@ let () =
           case "init" test_init;
           case "trials deterministic" test_trials_deterministic_across_domains;
           case "trials independent" test_trials_distinct_generators;
+          case "job failure sequential" test_job_failed_sequential;
+          case "job failure parallel" test_job_failed_parallel;
+          case "job failure lowest index" test_job_failed_lowest_index_wins;
+          case "job failure isolation" test_job_failed_siblings_complete;
           case "default domains" test_default_domains_reasonable;
         ] );
     ]
