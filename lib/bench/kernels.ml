@@ -185,6 +185,55 @@ let () =
     (fun () -> ())
     (fun () -> Fn_topology.Random_graphs.random_regular (fresh ()) 256 6)
 
+(* the Estimate candidate access pattern: one resumable traversal
+   grown through doubling sizes (each node visited once overall) *)
+let () =
+  reg ~suite:substrate ~items:4096 "ball_growth_mesh64" (dep mesh64) (fun () ->
+      let g = Lazy.force mesh64 in
+      let t = Fn_graph.Bfs.ball_grower g 0 in
+      let k = ref 2 in
+      let last = ref (Fn_graph.Bitset.create 1) in
+      while !k <= 4096 do
+        last := Fn_graph.Bfs.grow_ball t !k;
+        k := !k * 2
+      done;
+      !last)
+
+(* prefix sweep over a fixed deterministic score: isolates the sort +
+   incremental boundary scan from the spectral solve *)
+let sweep_score32 =
+  lazy
+    (let n = Fn_graph.Graph.num_nodes (Lazy.force mesh32) in
+     Array.init n (fun i -> float_of_int ((i * 2654435761) land 0xFFFF)))
+
+let () =
+  reg ~suite:substrate ~items:1024 "sweep_score_mesh32"
+    (deps [ dep mesh32; dep sweep_score32 ])
+    (fun () ->
+      Fn_expansion.Sweep.best_prefix (Lazy.force mesh32)
+        ~score:(Lazy.force sweep_score32) Fn_expansion.Cut.Edge)
+
+(* the heuristic estimator end to end (sampling + sweeps + refinement) *)
+let () =
+  reg ~suite:substrate ~items:256 "estimate_heuristic_torus16" (dep torus16) (fun () ->
+      Fn_expansion.Estimate.run ~force_heuristic:true ~rng:(fresh ()) (Lazy.force torus16)
+        Fn_expansion.Cut.Edge)
+
+(* the Prune round loop (finder + scratch boundary accounting) on a
+   faulty mesh with a fixed threshold *)
+let mesh16_faults =
+  lazy
+    (let g = Lazy.force mesh16 in
+     Fn_faults.Random_faults.nodes_iid (fresh ()) g 0.1)
+
+let () =
+  reg ~suite:substrate ~items:256 "prune_round_mesh16"
+    (deps [ dep mesh16; dep mesh16_faults ])
+    (fun () ->
+      let faults = Lazy.force mesh16_faults in
+      Faultnet.Prune.run ~rng:(fresh ()) (Lazy.force mesh16)
+        ~alive:faults.Fn_faults.Fault_set.alive ~alpha:0.5 ~epsilon:0.5)
+
 (* ---- ablations ---- *)
 
 (* the degenerate-eigenspace fix: a single Fiedler sweep vs the
@@ -199,7 +248,10 @@ let () =
 let () =
   reg ~suite:ablations ~items:256 "sweep_rotated_pair" (dep mesh16) (fun () ->
       let g = Lazy.force mesh16 in
-      let f1, f2 = Fn_expansion.Spectral.fiedler_pair g in
+      (* the production portfolio path: one fused solve, not
+         lambda2 + fiedler_pair re-running the first iteration *)
+      let spectral, f2 = Fn_expansion.Spectral.solve g in
+      let f1 = spectral.Fn_expansion.Spectral.fiedler in
       let rot op = Array.init (Array.length f1) (fun i -> op f1.(i) f2.(i)) in
       List.fold_left Fn_expansion.Cut.better
         (Fn_expansion.Sweep.best_prefix g ~score:f1 Fn_expansion.Cut.Edge)

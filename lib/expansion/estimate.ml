@@ -9,6 +9,12 @@ type t = {
   lower : float option;
 }
 
+(* Cap on parallel local-search starts.  A constant (rather than the
+   domain count) keeps heuristic results identical for every
+   [domains > 1], so the contract is two-valued: the sequential
+   algorithm at [domains = 1], one fixed parallel algorithm above. *)
+let max_refine_starts = 4
+
 let alive_nodes ?alive g =
   match alive with
   | Some m -> Bitset.to_array m
@@ -26,6 +32,21 @@ let disconnected_witness ?alive g =
     Some (Components.members comps !smallest)
   end
 
+(* Candidate balls around one source for geometrically doubled size
+   targets, largest first.  One resumable traversal serves the whole
+   schedule (Bfs.grow_ball) instead of a fresh BFS per size. *)
+let balls_from ?alive g ~total ~half src =
+  let grower = Bfs.ball_grower ?alive g src in
+  let out = ref [] in
+  let size = ref 2 in
+  while !size <= half do
+    let ball = Bfs.grow_ball grower !size in
+    let c = Bfs.ball_size grower in
+    if c >= 1 && 2 * c <= total then out := ball :: !out;
+    size := !size * 2
+  done;
+  !out
+
 let ball_candidates ?alive g rng samples =
   let nodes = alive_nodes ?alive g in
   let total = Array.length nodes in
@@ -34,19 +55,30 @@ let ball_candidates ?alive g rng samples =
     let half = total / 2 in
     for _ = 1 to samples do
       let src = nodes.(Rng.int rng total) in
-      let size = ref 2 in
-      while !size <= half do
-        let ball = Bfs.ball_of_size ?alive g src !size in
-        let c = Bitset.cardinal ball in
-        if c >= 1 && 2 * c <= total then out := ball :: !out;
-        size := !size * 2
-      done
+      out := balls_from ?alive g ~total ~half src @ !out
     done
   end;
   !out
 
-let run ?(obs = Fn_obs.Sink.null) ?alive ?rng ?(samples = 8) ?(local_search_passes = 4)
-    ?(force_heuristic = false) g objective =
+(* Parallel sampling: every sample gets its own pre-split generator
+   (sequential split, Par.trials) and grows its balls on a worker
+   domain; the merge folds per-sample lists in index order, so the
+   result is deterministic and independent of the domain count. *)
+let ball_candidates_par ?obs ?alive g rng samples ~domains =
+  let nodes = alive_nodes ?alive g in
+  let total = Array.length nodes in
+  if total < 2 then []
+  else begin
+    let half = total / 2 in
+    let per =
+      Fn_parallel.Par.trials ?obs ~domains ~rng samples (fun r ->
+          balls_from ?alive g ~total ~half nodes.(Rng.int r total))
+    in
+    Array.fold_left (fun acc balls -> balls @ acc) [] per
+  end
+
+let run ?(obs = Fn_obs.Sink.null) ?alive ?rng ?(domains = 1) ?(samples = 8)
+    ?(local_search_passes = 4) ?(force_heuristic = false) g objective =
   let rng = match rng with Some r -> r | None -> Rng.create 0xFA17 in
   let nodes = alive_nodes ?alive g in
   let total = Array.length nodes in
@@ -68,7 +100,7 @@ let run ?(obs = Fn_obs.Sink.null) ?alive ?rng ?(samples = 8) ?(local_search_pass
     | Some w -> { value = 0.0; witness = w; objective; exact = true; lower = Some 0.0 }
     | None ->
     let use_exact =
-      (not force_heuristic) && alive = None && Graph.num_nodes g <= Exact.max_nodes
+      (not force_heuristic) && Option.is_none alive && Graph.num_nodes g <= Exact.max_nodes
     in
     if use_exact then begin
       let cut =
@@ -79,34 +111,63 @@ let run ?(obs = Fn_obs.Sink.null) ?alive ?rng ?(samples = 8) ?(local_search_pass
       { value = cut.Cut.value; witness = cut.Cut.set; objective; exact = true; lower = Some cut.Cut.value }
     end
     else begin
-      let spectral = Spectral.lambda2 ~obs ?alive g in
+      (* one fused spectral solve: the lambda2 Fiedler vector IS the
+         first vector of the pair, so Spectral.solve shares the power
+         iteration instead of running it twice *)
+      let spectral, f2 = Spectral.solve ~obs ?alive ~domains g in
       (* sweep the Fiedler pair and two 45-degree rotations: when the
          lambda2 eigenspace is degenerate (square meshes, tori) the
          single power-iteration vector is an arbitrary rotation of the
          axis modes, and one of these four recovers a near-axis cut *)
-      let f1, f2 = Spectral.fiedler_pair ~obs ?alive g in
+      let f1 = spectral.Spectral.fiedler in
       let rotate a b op = Array.init (Array.length a) (fun i -> op a.(i) b.(i)) in
-      let scores =
-        [ f1; f2; rotate f1 f2 ( +. ); rotate f1 f2 ( -. ) ]
+      let scores = [| f1; f2; rotate f1 f2 ( +. ); rotate f1 f2 ( -. ) |] in
+      (* the sweeps are pure and merged lowest-index-first, so the
+         parallel fan-out returns exactly the sequential fold *)
+      let sweeps =
+        Fn_parallel.Par.map ~obs ~domains
+          (fun score -> Sweep.best_prefix ?alive g ~score objective)
+          scores
       in
-      let sweep =
-        match List.map (fun score -> Sweep.best_prefix ?alive g ~score objective) scores with
-        | first :: rest -> List.fold_left Cut.better first rest
-        | [] -> assert false
+      let sweep = Array.fold_left Cut.better sweeps.(0) sweeps in
+      let balls =
+        if domains <= 1 then ball_candidates ?alive g rng samples
+        else ball_candidates_par ~obs ?alive g rng samples ~domains
       in
       let candidates =
-        List.filter_map
+        (* pure evaluation: the parallel map matches the sequential
+           filter_map element for element *)
+        Fn_parallel.Par.map ~obs ~domains
           (fun set ->
             match Cut.value_of ?alive g objective set with
             | v -> Some { Cut.set; value = v; objective }
             | exception Invalid_argument _ -> None)
-          (ball_candidates ?alive g rng samples)
+          (Array.of_list balls)
+        |> Array.to_list
+        |> List.filter_map Fun.id
       in
       let best = List.fold_left Cut.better sweep candidates in
       let refined =
-        if local_search_passes > 0 then
+        if local_search_passes <= 0 then best
+        else if domains <= 1 then
           Local_search.improve ?alive ~max_passes:local_search_passes g best
-        else best
+        else begin
+          (* multi-start refinement: hill-climb the few best distinct
+             starts in parallel; includes the overall best, so the
+             refined value is never worse than the sequential start *)
+          let pool = Array.of_list (Array.to_list sweeps @ candidates) in
+          let idx = Array.init (Array.length pool) Fun.id in
+          Array.sort
+            (fun a b ->
+              let c = Float.compare pool.(a).Cut.value pool.(b).Cut.value in
+              if c <> 0 then c else Int.compare a b)
+            idx;
+          let starts =
+            Array.init (min max_refine_starts (Array.length pool)) (fun i -> pool.(idx.(i)))
+          in
+          Local_search.improve_many ~obs ?alive ~max_passes:local_search_passes ~domains g
+            starts
+        end
       in
       let lower =
         match objective with
@@ -127,6 +188,6 @@ let run ?(obs = Fn_obs.Sink.null) ?alive ?rng ?(samples = 8) ?(local_search_pass
         ];
   result
 
-let node ?obs ?alive ?rng g = run ?obs ?alive ?rng g Cut.Node
+let node ?obs ?alive ?rng ?domains g = run ?obs ?alive ?rng ?domains g Cut.Node
 
-let edge ?obs ?alive ?rng g = run ?obs ?alive ?rng g Cut.Edge
+let edge ?obs ?alive ?rng ?domains g = run ?obs ?alive ?rng ?domains g Cut.Edge

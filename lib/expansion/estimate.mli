@@ -28,6 +28,7 @@ val run :
   ?obs:Fn_obs.Sink.t ->
   ?alive:Bitset.t ->
   ?rng:Rng.t ->
+  ?domains:int ->
   ?samples:int ->
   ?local_search_passes:int ->
   ?force_heuristic:bool ->
@@ -35,11 +36,23 @@ val run :
   Cut.objective ->
   t
 (** Defaults: [samples] 8, [local_search_passes] 4, [rng] seeded with
-    0xFA17, [force_heuristic] false (use {!Exact} when feasible).
-    Requires >= 2 alive nodes.  A disconnected alive set yields value
-    0 with a component witness.  An enabled [obs] sink wraps the whole
-    estimate in an ["expansion.estimate"] span (with nested spectral
-    spans from {!Spectral}); the default null sink costs nothing. *)
+    0xFA17, [domains] 1, [force_heuristic] false (use {!Exact} when
+    feasible).  Requires >= 2 alive nodes.  A disconnected alive set
+    yields value 0 with a component witness.  An enabled [obs] sink
+    wraps the whole estimate in an ["expansion.estimate"] span (with
+    nested spectral spans from {!Spectral}); the default null sink
+    costs nothing.
 
-val node : ?obs:Fn_obs.Sink.t -> ?alive:Bitset.t -> ?rng:Rng.t -> Graph.t -> t
-val edge : ?obs:Fn_obs.Sink.t -> ?alive:Bitset.t -> ?rng:Rng.t -> Graph.t -> t
+    Determinism contract: [domains = 1] (the default) runs the
+    sequential portfolio and is byte-identical run to run.  With
+    [domains > 1] the spectral matvec, the four sweeps and the
+    candidate evaluation parallelize without changing results, while
+    ball sampling switches to per-sample {!Rng.split} streams and
+    refinement hill-climbs several starts — a deterministic variant
+    whose output depends only on [domains > 1], not on the count. *)
+
+val node :
+  ?obs:Fn_obs.Sink.t -> ?alive:Bitset.t -> ?rng:Rng.t -> ?domains:int -> Graph.t -> t
+
+val edge :
+  ?obs:Fn_obs.Sink.t -> ?alive:Bitset.t -> ?rng:Rng.t -> ?domains:int -> Graph.t -> t

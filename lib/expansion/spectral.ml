@@ -2,7 +2,11 @@ open Fn_graph
 
 type result = { lambda2 : float; fiedler : float array; iterations : int }
 
-let power_iteration ?alive ?(max_iter = 1000) ?(tol = 1e-9) g ~deflate_against =
+(* Row ranges below this node count are not worth a pool barrier per
+   matvec: the synchronization would cost more than the arithmetic. *)
+let par_node_threshold = 1024
+
+let power_iteration ?alive ?(domains = 1) ?(max_iter = 1000) ?(tol = 1e-9) g ~deflate_against =
   let n = Graph.num_nodes g in
   let is_alive v = match alive with None -> true | Some m -> Bitset.mem m v in
   let deg = Array.make n 0 in
@@ -18,8 +22,12 @@ let power_iteration ?alive ?(max_iter = 1000) ?(tol = 1e-9) g ~deflate_against =
     for v = 0 to n - 1 do
       if is_alive v then v1.(v) <- sqrt_deg.(v) /. norm1
     done;
-  let apply src dst =
-    for v = 0 to n - 1 do
+  (* Each row of the operator touches only row-local state, so the
+     parallel matvec computes bit-identical results for every domain
+     count: parallelism changes which domain evaluates a row, never
+     the order of floating-point operations within it. *)
+  let apply_rows src dst lo hi =
+    for v = lo to hi - 1 do
       if is_alive v then begin
         if deg.(v) = 0 then dst.(v) <- src.(v)
         else begin
@@ -68,21 +76,33 @@ let power_iteration ?alive ?(max_iter = 1000) ?(tol = 1e-9) g ~deflate_against =
   ignore (normalize y);
   let z = Array.make n 0.0 in
   let iterations = ref 0 in
-  (try
-     for it = 1 to max_iter do
-       iterations := it;
-       apply y z;
-       deflate z;
-       ignore (normalize z);
-       let diff = ref 0.0 in
-       for i = 0 to n - 1 do
-         diff := !diff +. abs_float (z.(i) -. y.(i))
-       done;
-       Array.blit z 0 y 0 n;
-       if !diff < tol then raise Exit
-     done
-   with Exit -> ());
-  apply y z;
+  let iterate apply =
+    (try
+       for it = 1 to max_iter do
+         iterations := it;
+         apply y z;
+         deflate z;
+         ignore (normalize z);
+         let diff = ref 0.0 in
+         for i = 0 to n - 1 do
+           diff := !diff +. abs_float (z.(i) -. y.(i))
+         done;
+         Array.blit z 0 y 0 n;
+         if !diff < tol then raise Exit
+       done
+     with Exit -> ());
+    apply y z
+  in
+  if domains > 1 && n >= par_node_threshold then
+    Fn_parallel.Par.Pool.with_pool ~domains (fun pool ->
+        let workers = Fn_parallel.Par.Pool.size pool in
+        let chunk = (n + workers - 1) / workers in
+        iterate (fun src dst ->
+            Fn_parallel.Par.Pool.run pool (fun w ->
+                let lo = w * chunk in
+                let hi = min n (lo + chunk) in
+                if lo < hi then apply_rows src dst lo hi)))
+  else iterate (fun src dst -> apply_rows src dst 0 n);
   let mu_final = dot y z in
   let lambda = 2.0 -. mu_final in
   let embedding =
@@ -90,11 +110,11 @@ let power_iteration ?alive ?(max_iter = 1000) ?(tol = 1e-9) g ~deflate_against =
   in
   (max 0.0 lambda, y, embedding, !iterations)
 
-let lambda2 ?(obs = Fn_obs.Sink.null) ?alive ?max_iter ?tol g =
+let lambda2 ?(obs = Fn_obs.Sink.null) ?alive ?domains ?max_iter ?tol g =
   let on = Fn_obs.Sink.enabled obs in
   let sp = if on then Fn_obs.Span.enter obs "spectral.lambda2" else Fn_obs.Span.null in
   let lambda2, _, fiedler, iterations =
-    power_iteration ?alive ?max_iter ?tol g ~deflate_against:[]
+    power_iteration ?alive ?domains ?max_iter ?tol g ~deflate_against:[]
   in
   if on then begin
     Fn_obs.Span.exit sp
@@ -111,14 +131,40 @@ let lambda2 ?(obs = Fn_obs.Sink.null) ?alive ?max_iter ?tol g =
   end;
   { lambda2; fiedler; iterations }
 
-let fiedler_pair ?(obs = Fn_obs.Sink.null) ?alive ?max_iter ?tol g =
+let fiedler_pair ?(obs = Fn_obs.Sink.null) ?alive ?domains ?max_iter ?tol g =
   let on = Fn_obs.Sink.enabled obs in
   let sp = if on then Fn_obs.Span.enter obs "spectral.fiedler_pair" else Fn_obs.Span.null in
-  let _, y1, f1, it1 = power_iteration ?alive ?max_iter ?tol g ~deflate_against:[] in
-  let _, _, f2, it2 = power_iteration ?alive ?max_iter ?tol g ~deflate_against:[ y1 ] in
+  let _, y1, f1, it1 = power_iteration ?alive ?domains ?max_iter ?tol g ~deflate_against:[] in
+  let _, _, f2, it2 =
+    power_iteration ?alive ?domains ?max_iter ?tol g ~deflate_against:[ y1 ]
+  in
   if on then
     Fn_obs.Span.exit sp ~fields:[ ("iterations", Fn_obs.Sink.Int (it1 + it2)) ];
   (f1, f2)
+
+let solve ?(obs = Fn_obs.Sink.null) ?alive ?domains ?max_iter ?tol g =
+  let on = Fn_obs.Sink.enabled obs in
+  let sp = if on then Fn_obs.Span.enter obs "spectral.solve" else Fn_obs.Span.null in
+  let lambda2, y1, f1, it1 =
+    power_iteration ?alive ?domains ?max_iter ?tol g ~deflate_against:[]
+  in
+  let _, _, f2, it2 =
+    power_iteration ?alive ?domains ?max_iter ?tol g ~deflate_against:[ y1 ]
+  in
+  if on then begin
+    Fn_obs.Span.exit sp
+      ~fields:
+        [
+          ("lambda2", Fn_obs.Sink.Float lambda2);
+          ("iterations", Fn_obs.Sink.Int (it1 + it2));
+        ];
+    Fn_obs.Metrics.observe
+      (Fn_obs.Metrics.histogram
+         ~buckets:[| 1.0; 3.0; 10.0; 30.0; 100.0; 300.0; 1000.0 |]
+         "spectral.iterations")
+      (float_of_int it1)
+  end;
+  ({ lambda2; fiedler = f1; iterations = it1 }, f2)
 
 let cheeger_lower r = r.lambda2 /. 2.0
 

@@ -17,17 +17,31 @@ type result = {
 }
 
 val lambda2 :
-  ?obs:Fn_obs.Sink.t -> ?alive:Bitset.t -> ?max_iter:int -> ?tol:float -> Graph.t -> result
+  ?obs:Fn_obs.Sink.t ->
+  ?alive:Bitset.t ->
+  ?domains:int ->
+  ?max_iter:int ->
+  ?tol:float ->
+  Graph.t ->
+  result
 (** Power iteration on 2I - L with deflation of the trivial
     eigenvector; O(max_iter * m).  The alive mask restricts the
     operator to the induced subgraph.  Isolated alive nodes are
     permitted (they contribute λ = 1 rows); the graph restricted to
     [alive] should be connected for λ₂ to have its usual meaning.
-    Defaults: [max_iter] 1000, [tol] 1e-9. *)
+    Defaults: [max_iter] 1000, [tol] 1e-9, [domains] 1.
+
+    With [domains > 1] the matvec is chunked over a
+    {!Fn_parallel.Par.Pool} of worker domains (on graphs large enough
+    for the barrier to pay for itself).  Each matrix row touches only
+    row-local state, so the result is bit-identical for every domain
+    count — parallelism here is an implementation detail, not an
+    algorithm change. *)
 
 val fiedler_pair :
   ?obs:Fn_obs.Sink.t ->
   ?alive:Bitset.t ->
+  ?domains:int ->
   ?max_iter:int ->
   ?tol:float ->
   Graph.t ->
@@ -38,6 +52,21 @@ val fiedler_pair :
     square mesh — a single power-iteration vector is an arbitrary mix
     of the eigenspace; sweeping several rotations of the pair recovers
     the axis-aligned cuts (see {!Estimate}). *)
+
+val solve :
+  ?obs:Fn_obs.Sink.t ->
+  ?alive:Bitset.t ->
+  ?domains:int ->
+  ?max_iter:int ->
+  ?tol:float ->
+  Graph.t ->
+  result * float array
+(** [lambda2] and [fiedler_pair] fused: the Fiedler vector of the
+    result doubles as the first vector of the pair (both are the same
+    deterministic power iteration), so one call does the work of two —
+    two power iterations instead of three.  Returns the {!result} and
+    the second, deflated embedding.  Bit-identical to calling
+    {!lambda2} and {!fiedler_pair} separately. *)
 
 val cheeger_lower : result -> float
 (** λ₂ / 2 — a certified lower bound on conductance. *)

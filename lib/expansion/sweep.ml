@@ -5,12 +5,17 @@ let best_prefix ?alive g ~score objective =
   if Array.length score <> n then invalid_arg "Sweep.best_prefix: score length mismatch";
   let is_alive v = match alive with None -> true | Some m -> Bitset.mem m v in
   let order =
-    let nodes = ref [] in
-    for v = n - 1 downto 0 do
-      if is_alive v then nodes := v :: !nodes
-    done;
-    let arr = Array.of_list !nodes in
-    Array.sort (fun a b -> compare (score.(a), a) (score.(b), b)) arr;
+    let arr =
+      match alive with None -> Array.init n Fun.id | Some m -> Bitset.to_array m
+    in
+    (* monomorphic score-then-index order: bare polymorphic compare on
+       (float, int) tuples costs a C call and two tuple allocations
+       per comparison in this sort hot path *)
+    Array.sort
+      (fun a b ->
+        let c = Float.compare score.(a) score.(b) in
+        if c <> 0 then c else Int.compare a b)
+      arr;
     arr
   in
   let total = Array.length order in

@@ -12,6 +12,7 @@ let adversaries rng =
 let run (cfg : Workload.config) =
   let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
   let obs = cfg.Workload.obs in
+  let domains = cfg.Workload.domains in
   let rng = Rng.create seed in
   let sup scope f = Workload.supervised cfg ~scope ~rng f in
   let sizes = if quick then [ 256 ] else [ 256; 512; 1024 ] in
@@ -27,7 +28,7 @@ let run (cfg : Workload.config) =
       let g, alpha =
         sup (Printf.sprintf "E1.n%d.setup" n) (fun () ->
             let g = Workload.expander rng ~n ~d:6 in
-            (g, Workload.node_expansion_estimate ~obs rng g))
+            (g, Workload.node_expansion_estimate ~obs ?domains rng g))
       in
       List.iter
         (fun k ->
@@ -42,14 +43,14 @@ let run (cfg : Workload.config) =
                     let faults = attack g ~budget:f in
                     let alive = faults.Fault_set.alive in
                     let epsilon = Faultnet.Theorem.thm21_epsilon ~k in
-                    let res = Faultnet.Prune.run ~obs ~rng g ~alive ~alpha ~epsilon in
+                    let res = Faultnet.Prune.run ~obs ~rng ?domains g ~alive ~alpha ~epsilon in
                     let cert_ok = Faultnet.Prune.verify_certificates g ~alive res in
                     let kept = Bitset.cardinal res.Faultnet.Prune.kept in
                     let size_bound = Faultnet.Theorem.thm21_min_kept ~alpha ~n ~k ~f in
                     let exp_bound = Faultnet.Theorem.thm21_expansion ~alpha ~k in
                     let exp_measured =
                       if kept >= 2 then
-                        Workload.node_expansion_estimate ~obs rng
+                        Workload.node_expansion_estimate ~obs ?domains rng
                           ~alive:res.Faultnet.Prune.kept g
                       else 0.0
                     in

@@ -4,6 +4,7 @@ open Fn_prng
 let run (cfg : Workload.config) =
   let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
   let obs = cfg.Workload.obs in
+  let domains = cfg.Workload.domains in
   let rng = Rng.create seed in
   let sup scope f = Workload.supervised cfg ~scope ~rng f in
   let base_n = if quick then 32 else 64 in
@@ -19,7 +20,7 @@ let run (cfg : Workload.config) =
         sup (Printf.sprintf "E2.k%d" k) (fun () ->
             let cg = Fn_topology.Chain_graph.build base ~k in
             let h = cg.Fn_topology.Chain_graph.graph in
-            (cg, h, Workload.node_expansion_estimate ~obs rng h))
+            (cg, h, Workload.node_expansion_estimate ~obs ?domains rng h))
       in
       points := (float_of_int k, alpha) :: !points;
       Fn_stats.Table.add_row table

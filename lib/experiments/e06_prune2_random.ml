@@ -5,6 +5,7 @@ open Fn_faults
 let run (cfg : Workload.config) =
   let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
   let obs = cfg.Workload.obs in
+  let domains = cfg.Workload.domains in
   let rng = Rng.create seed in
   let sup scope f = Workload.supervised cfg ~scope ~rng f in
   let configs = if quick then [ (2, 16) ] else [ (2, 16); (3, 7) ] in
@@ -24,7 +25,7 @@ let run (cfg : Workload.config) =
       let epsilon = Faultnet.Theorem.thm34_max_epsilon ~delta in
       let alpha_e =
         sup (Printf.sprintf "E6.d%d.alpha" d) (fun () ->
-            Workload.edge_expansion_estimate ~obs rng g)
+            Workload.edge_expansion_estimate ~obs ?domains rng g)
       in
       let ps = [ p_thy; 0.01; 0.05; 0.10; 0.20 ] in
       List.iter
@@ -33,7 +34,7 @@ let run (cfg : Workload.config) =
             sup (Printf.sprintf "E6.d%d.p%.2e" d p) (fun () ->
                 let faults = Random_faults.nodes_iid rng g p in
                 let res =
-                  Faultnet.Prune2.run ~obs ~rng g ~alive:faults.Fault_set.alive ~alpha_e
+                  Faultnet.Prune2.run ~obs ~rng ?domains g ~alive:faults.Fault_set.alive ~alpha_e
                     ~epsilon
                 in
                 let cert_ok =
@@ -44,7 +45,7 @@ let run (cfg : Workload.config) =
                 let exp_target = epsilon *. alpha_e in
                 let exp_measured =
                   if kept >= 2 then
-                    Workload.edge_expansion_estimate ~obs rng
+                    Workload.edge_expansion_estimate ~obs ?domains rng
                       ~alive:res.Faultnet.Prune2.kept g
                   else 0.0
                 in

@@ -5,6 +5,7 @@ open Fn_faults
 let run (cfg : Workload.config) =
   let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
   let obs = cfg.Workload.obs in
+  let domains = cfg.Workload.domains in
   let rng = Rng.create seed in
   let sup scope f = Workload.supervised cfg ~scope ~rng f in
   let n = if quick then 128 else 256 in
@@ -23,16 +24,16 @@ let run (cfg : Workload.config) =
     let delta = Graph.max_degree g in
     let alpha_e, kept, exp_h, ratio =
       sup (Printf.sprintf "E9.d%d.%s" d name) (fun () ->
-          let alpha_e = Workload.edge_expansion_estimate ~obs rng g in
+          let alpha_e = Workload.edge_expansion_estimate ~obs ?domains rng g in
           let epsilon = min (Faultnet.Theorem.thm34_max_epsilon ~delta) 0.45 in
           let faults = Random_faults.nodes_iid rng g p in
           let res =
-            Faultnet.Prune2.run ~obs ~rng g ~alive:faults.Fault_set.alive ~alpha_e ~epsilon
+            Faultnet.Prune2.run ~obs ~rng ?domains g ~alive:faults.Fault_set.alive ~alpha_e ~epsilon
           in
           let kept = Bitset.cardinal res.Faultnet.Prune2.kept in
           let exp_h =
             if kept >= 2 then
-              Workload.edge_expansion_estimate ~obs rng ~alive:res.Faultnet.Prune2.kept g
+              Workload.edge_expansion_estimate ~obs ?domains rng ~alive:res.Faultnet.Prune2.kept g
             else 0.0
           in
           (alpha_e, kept, exp_h, exp_h /. alpha_e))

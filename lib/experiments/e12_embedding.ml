@@ -5,12 +5,13 @@ open Fn_faults
 let run (cfg : Workload.config) =
   let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
   let obs = cfg.Workload.obs in
+  let domains = cfg.Workload.domains in
   let rng = Rng.create seed in
   let side = if quick then 16 else 24 in
   let g, _ = Fn_topology.Mesh.cube ~d:2 ~side in
   let n = Graph.num_nodes g in
   let sup scope f = Workload.supervised cfg ~scope ~rng f in
-  let alpha_e = sup "E12.alpha" (fun () -> Workload.edge_expansion_estimate ~obs rng g) in
+  let alpha_e = sup "E12.alpha" (fun () -> Workload.edge_expansion_estimate ~obs ?domains rng g) in
   let epsilon = 0.125 in
   let ps = [ 0.01; 0.05; 0.10; 0.15 ] in
   let table =
@@ -24,7 +25,7 @@ let run (cfg : Workload.config) =
         sup (Printf.sprintf "E12.p%.2f" p) (fun () ->
             let faults = Random_faults.nodes_iid rng g p in
             let res =
-              Faultnet.Prune2.run ~obs ~rng g ~alive:faults.Fault_set.alive ~alpha_e
+              Faultnet.Prune2.run ~obs ~rng ?domains g ~alive:faults.Fault_set.alive ~alpha_e
                 ~epsilon
             in
             let kept = res.Faultnet.Prune2.kept in

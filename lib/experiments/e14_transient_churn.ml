@@ -5,6 +5,7 @@ open Fn_faults
 let run (cfg : Workload.config) =
   let quick = cfg.Workload.quick and seed = cfg.Workload.seed in
   let obs = cfg.Workload.obs in
+  let domains = cfg.Workload.domains in
   let rng = Rng.create seed in
   let side = if quick then 12 else 16 in
   let snapshots = if quick then 6 else 10 in
@@ -13,7 +14,7 @@ let run (cfg : Workload.config) =
   let rate_fail = 0.1 and rate_repair = 0.9 in
   let stationary = Churn.stationary_dead_fraction ~rate_fail ~rate_repair in
   let sup scope f = Workload.supervised cfg ~scope ~rng f in
-  let alpha_e = sup "E14.alpha" (fun () -> Workload.edge_expansion_estimate ~obs rng g) in
+  let alpha_e = sup "E14.alpha" (fun () -> Workload.edge_expansion_estimate ~obs ?domains rng g) in
   let epsilon = Faultnet.Theorem.thm34_max_epsilon ~delta:(Graph.max_degree g) in
   let table =
     Fn_stats.Table.create [ "time"; "dead"; "gamma"; "kept"; "survivor exp"; "exp ratio" ]
@@ -30,11 +31,11 @@ let run (cfg : Workload.config) =
         let gamma, kept, exp_h, ratio =
           sup (Printf.sprintf "E14.t%.1f" snap.Churn.time) (fun () ->
               let gamma = Workload.gamma_of_alive g alive in
-              let res = Faultnet.Prune2.run ~obs ~rng g ~alive ~alpha_e ~epsilon in
+              let res = Faultnet.Prune2.run ~obs ~rng ?domains g ~alive ~alpha_e ~epsilon in
               let kept = Bitset.cardinal res.Faultnet.Prune2.kept in
               let exp_h =
                 if kept >= 2 then
-                  Workload.edge_expansion_estimate ~obs rng
+                  Workload.edge_expansion_estimate ~obs ?domains rng
                     ~alive:res.Faultnet.Prune2.kept g
                 else 0.0
               in

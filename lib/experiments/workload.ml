@@ -45,12 +45,12 @@ let gamma_of_alive g alive =
     float_of_int (Components.largest_size comps) /. float_of_int n
   end
 
-let node_expansion_estimate ?obs rng ?alive g =
-  (Fn_expansion.Estimate.run ?obs ?alive ~rng g Fn_expansion.Cut.Node)
+let node_expansion_estimate ?obs ?domains rng ?alive g =
+  (Fn_expansion.Estimate.run ?obs ?domains ?alive ~rng g Fn_expansion.Cut.Node)
     .Fn_expansion.Estimate.value
 
-let edge_expansion_estimate ?obs rng ?alive g =
-  (Fn_expansion.Estimate.run ?obs ?alive ~rng g Fn_expansion.Cut.Edge)
+let edge_expansion_estimate ?obs ?domains rng ?alive g =
+  (Fn_expansion.Estimate.run ?obs ?domains ?alive ~rng g Fn_expansion.Cut.Edge)
     .Fn_expansion.Estimate.value
 
 let mean_of xs =

@@ -66,11 +66,13 @@ val gamma_of_alive : Graph.t -> Bitset.t -> float
 (** Largest alive component size / original node count. *)
 
 val node_expansion_estimate :
-  ?obs:Fn_obs.Sink.t -> Rng.t -> ?alive:Bitset.t -> Graph.t -> float
-(** Portfolio upper-bound estimate (see {!Fn_expansion.Estimate}). *)
+  ?obs:Fn_obs.Sink.t -> ?domains:int -> Rng.t -> ?alive:Bitset.t -> Graph.t -> float
+(** Portfolio upper-bound estimate (see {!Fn_expansion.Estimate}).
+    [domains] follows the {!Fn_expansion.Estimate.run} contract:
+    default/1 is sequential and byte-reproducible. *)
 
 val edge_expansion_estimate :
-  ?obs:Fn_obs.Sink.t -> Rng.t -> ?alive:Bitset.t -> Graph.t -> float
+  ?obs:Fn_obs.Sink.t -> ?domains:int -> Rng.t -> ?alive:Bitset.t -> Graph.t -> float
 
 val mean_of : float list -> float
 

@@ -38,7 +38,7 @@ let exact objective ~alive g ~threshold =
     invalid_arg "Low_expansion.exact: fragment too large";
   exact_on_fragment objective ~alive g ~threshold
 
-let default ?rng objective ~alive g ~threshold =
+let default ?rng ?domains objective ~alive g ~threshold =
   let size = Bitset.cardinal alive in
   if size < 2 then None
   else
@@ -48,6 +48,6 @@ let default ?rng objective ~alive g ~threshold =
       if size <= exact_limit then exact_on_fragment objective ~alive g ~threshold
       else begin
         let rng = match rng with Some r -> r | None -> Rng.create 0x10E5 in
-        let est = Estimate.run ~alive ~rng g objective in
+        let est = Estimate.run ~alive ~rng ?domains g objective in
         if est.Estimate.value <= threshold then Some est.Estimate.witness else None
       end

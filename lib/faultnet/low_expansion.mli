@@ -17,10 +17,12 @@ type t = alive:Bitset.t -> Graph.t -> threshold:float -> Bitset.t option
 val exact_limit : int
 (** Fragment size up to which the exact finder is used (18). *)
 
-val default : ?rng:Rng.t -> Fn_expansion.Cut.objective -> t
+val default : ?rng:Rng.t -> ?domains:int -> Fn_expansion.Cut.objective -> t
 (** Portfolio finder: disconnected fragments yield a small component
     immediately; fragments of at most {!exact_limit} alive nodes are
-    solved exactly; larger ones use the heuristic estimator. *)
+    solved exactly; larger ones use the heuristic estimator.
+    [domains] is forwarded to {!Fn_expansion.Estimate.run} (default
+    1: sequential, byte-reproducible). *)
 
 val exact : Fn_expansion.Cut.objective -> t
 (** Exact only; raises [Invalid_argument] beyond {!exact_limit}. *)

@@ -9,14 +9,18 @@ type result = {
   threshold : float;
 }
 
-let run ?(obs = Fn_obs.Sink.null) ?finder ?rng g ~alive ~alpha ~epsilon =
+let run ?(obs = Fn_obs.Sink.null) ?finder ?rng ?domains g ~alive ~alpha ~epsilon =
   if alpha <= 0.0 then invalid_arg "Prune.run: alpha must be positive";
   if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Prune.run: need 0 < epsilon < 1";
   let finder =
     match finder with
     | Some f -> f
-    | None -> Low_expansion.default ?rng Fn_expansion.Cut.Node
+    | None -> Low_expansion.default ?rng ?domains Fn_expansion.Cut.Node
   in
+  (* per-round boundary counts reuse one generation-stamped scratch
+     instead of allocating a boundary Bitset every round; equal to
+     Boundary.node_boundary_size by construction (differential test) *)
+  let scratch = Boundary.Scratch.create (Graph.num_nodes g) in
   let threshold = alpha *. epsilon in
   let on = Fn_obs.Sink.enabled obs in
   let sp =
@@ -43,7 +47,7 @@ let run ?(obs = Fn_obs.Sink.null) ?finder ?rng g ~alive ~alpha ~epsilon =
       | Some s ->
         incr iterations;
         let size = Bitset.cardinal s in
-        let boundary = Boundary.node_boundary_size ~alive:current g s in
+        let boundary = Boundary.Scratch.node_boundary_size scratch ~alive:current g s in
         assert (size >= 1);
         assert (Bitset.subset s current);
         culled := { set = s; size; boundary } :: !culled;

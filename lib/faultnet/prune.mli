@@ -34,13 +34,19 @@ val run :
   ?obs:Fn_obs.Sink.t ->
   ?finder:Low_expansion.t ->
   ?rng:Rng.t ->
+  ?domains:int ->
   Graph.t ->
   alive:Bitset.t ->
   alpha:float ->
   epsilon:float ->
   result
 (** [run g ~alive ~alpha ~epsilon] executes Prune(ε) with threshold
-    α·ε.  Requires [alpha > 0] and [0 < epsilon < 1].
+    α·ε.  Requires [alpha > 0] and [0 < epsilon < 1].  [domains] is
+    forwarded to the default {!Low_expansion.default} finder (default
+    1: sequential, byte-reproducible); it is ignored when [finder] is
+    given.  Per-round boundary counts reuse a
+    {!Boundary.Scratch} rather than allocating per round, with
+    results equal to a fresh {!Boundary.node_boundary_size}.
 
     With an enabled [obs] sink the run is wrapped in a ["prune.run"]
     span and every cull emits a ["prune.round"] instant (culled size,

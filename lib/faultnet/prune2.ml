@@ -18,7 +18,7 @@ type result = {
    connected components meets the same edge-boundary-to-size ratio
    (the ratio of a disjoint union is a weighted mediant of the
    components' ratios).  Pick the best component. *)
-let best_connected_piece ~alive g s threshold =
+let best_connected_piece ~scratch ~alive g s threshold =
   let comps = Components.compute ~alive:s g in
   if comps.Components.count = 0 then None
   else begin
@@ -26,7 +26,7 @@ let best_connected_piece ~alive g s threshold =
     for id = 0 to comps.Components.count - 1 do
       let c = Components.members comps id in
       let ratio =
-        float_of_int (Boundary.edge_boundary_size ~alive g c)
+        float_of_int (Boundary.Scratch.edge_boundary_size scratch ~alive g c)
         /. float_of_int (Bitset.cardinal c)
       in
       match !best with
@@ -38,14 +38,17 @@ let best_connected_piece ~alive g s threshold =
     | _ -> None
   end
 
-let run ?(obs = Fn_obs.Sink.null) ?finder ?rng g ~alive ~alpha_e ~epsilon =
+let run ?(obs = Fn_obs.Sink.null) ?finder ?rng ?domains g ~alive ~alpha_e ~epsilon =
   if alpha_e <= 0.0 then invalid_arg "Prune2.run: alpha_e must be positive";
   if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Prune2.run: need 0 < epsilon < 1";
   let finder =
     match finder with
     | Some f -> f
-    | None -> Low_expansion.default ?rng Fn_expansion.Cut.Edge
+    | None -> Low_expansion.default ?rng ?domains Fn_expansion.Cut.Edge
   in
+  (* one generation-stamped scratch serves every boundary count of the
+     run (round certificates and the witness component split) *)
+  let scratch = Boundary.Scratch.create (Graph.num_nodes g) in
   let threshold = alpha_e *. epsilon in
   let on = Fn_obs.Sink.enabled obs in
   let sp =
@@ -70,13 +73,13 @@ let run ?(obs = Fn_obs.Sink.null) ?finder ?rng g ~alive ~alpha_e ~epsilon =
       match finder ~alive:current g ~threshold with
       | None -> continue := false
       | Some witness -> (
-        match best_connected_piece ~alive:current g witness threshold with
+        match best_connected_piece ~scratch ~alive:current g witness threshold with
         | None -> continue := false
         | Some s ->
           incr iterations;
           let k = Compact.compactify ~alive:current g s in
           let size = Bitset.cardinal k in
-          let edge_boundary = Boundary.edge_boundary_size ~alive:current g k in
+          let edge_boundary = Boundary.Scratch.edge_boundary_size scratch ~alive:current g k in
           culled := { found = s; compacted = k; size; edge_boundary } :: !culled;
           Bitset.diff_into current k;
           if on then begin

@@ -30,6 +30,7 @@ val run :
   ?obs:Fn_obs.Sink.t ->
   ?finder:Low_expansion.t ->
   ?rng:Rng.t ->
+  ?domains:int ->
   Graph.t ->
   alive:Bitset.t ->
   alpha_e:float ->
@@ -38,7 +39,12 @@ val run :
 (** Requires [alpha_e > 0] and [0 < epsilon < 1].  The finder's
     witness is split into connected components if necessary (one of
     them always satisfies the threshold, by the mediant inequality)
-    before compactification.
+    before compactification.  [domains] is forwarded to the default
+    {!Low_expansion.default} finder (default 1: sequential,
+    byte-reproducible); ignored when [finder] is given.  Per-round
+    edge-boundary counts (including the per-component ratios of the
+    witness split) reuse a {!Boundary.Scratch} rather than
+    allocating per round.
 
     With an enabled [obs] sink the run is wrapped in a ["prune2.run"]
     span and every cull emits a ["prune2.round"] instant (culled size,

@@ -11,7 +11,11 @@ let degree_targeted g ~budget =
   let n = Graph.num_nodes g in
   if budget < 0 || budget > n then invalid_arg "Adversary.degree_targeted: bad budget";
   let order = Array.init n Fun.id in
-  Array.sort (fun a b -> compare (-Graph.degree g a, a) (-Graph.degree g b, b)) order;
+  Array.sort
+    (fun a b ->
+      let c = Int.compare (Graph.degree g b) (Graph.degree g a) in
+      if c <> 0 then c else Int.compare a b)
+    order;
   Fault_set.of_faulty_array n (Array.sub order 0 budget)
 
 let targets g ~targets ~budget =
@@ -97,6 +101,6 @@ let recursive_cut ?rng ?(max_budget = max_int) g ~epsilon =
   loop ();
   let comps = Components.compute ~alive g in
   let final_fragments =
-    Array.to_list comps.Components.sizes |> List.sort (fun a b -> compare b a)
+    Array.to_list comps.Components.sizes |> List.sort (fun a b -> Int.compare b a)
   in
   { faults = Fault_set.of_faulty n faulty; steps = List.rev !steps; final_fragments }

@@ -5,24 +5,33 @@ let check_src g alive src =
   if src < 0 || src >= Graph.num_nodes g then invalid_arg "Bfs: source out of range";
   if not (is_alive alive src) then invalid_arg "Bfs: source not alive"
 
+(* Frontiers are flat int-array ring buffers with head/tail cursors:
+   every node is enqueued at most once, so capacity n never wraps and
+   a traversal costs one array allocation instead of a heap cell per
+   push (Queue.t).  [head = tail] means empty. *)
+
 let multi_source_distances ?alive g srcs =
   let n = Graph.num_nodes g in
   let dist = Array.make n (-1) in
-  let queue = Queue.create () in
+  let queue = Array.make (max 1 n) 0 in
+  let head = ref 0 and tail = ref 0 in
   Array.iter
     (fun s ->
       check_src g alive s;
       if dist.(s) < 0 then begin
         dist.(s) <- 0;
-        Queue.add s queue
+        queue.(!tail) <- s;
+        incr tail
       end)
     srcs;
-  while not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
     Graph.iter_neighbors g u (fun v ->
         if dist.(v) < 0 && is_alive alive v then begin
           dist.(v) <- dist.(u) + 1;
-          Queue.add v queue
+          queue.(!tail) <- v;
+          incr tail
         end)
   done;
   dist
@@ -39,15 +48,19 @@ let tree ?alive g src =
   check_src g alive src;
   let n = Graph.num_nodes g in
   let parent = Array.make n (-1) in
-  let queue = Queue.create () in
+  let queue = Array.make (max 1 n) 0 in
+  let head = ref 0 and tail = ref 0 in
   parent.(src) <- src;
-  Queue.add src queue;
-  while not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
+  queue.(0) <- src;
+  tail := 1;
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
     Graph.iter_neighbors g u (fun v ->
         if parent.(v) < 0 && is_alive alive v then begin
           parent.(v) <- u;
-          Queue.add v queue
+          queue.(!tail) <- v;
+          incr tail
         end)
   done;
   parent
@@ -57,42 +70,80 @@ let ball ?alive g src r =
   let n = Graph.num_nodes g in
   let dist = Array.make n (-1) in
   let out = Bitset.create n in
-  let queue = Queue.create () in
+  let queue = Array.make (max 1 n) 0 in
+  let head = ref 0 and tail = ref 0 in
   dist.(src) <- 0;
   Bitset.add out src;
-  Queue.add src queue;
-  while not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
+  queue.(0) <- src;
+  tail := 1;
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
     if dist.(u) < r then
       Graph.iter_neighbors g u (fun v ->
           if dist.(v) < 0 && is_alive alive v then begin
             dist.(v) <- dist.(u) + 1;
             Bitset.add out v;
-            Queue.add v queue
+            queue.(!tail) <- v;
+            incr tail
           end)
   done;
   out
 
-let ball_of_size ?alive g src k =
+(* Resumable ball growth: the frontier state persists between calls,
+   so growing a ball through doubling size targets (Estimate's
+   geometric candidate schedule) traverses each node once overall
+   instead of restarting the BFS per target. *)
+type ball_grower = {
+  g : Graph.t;
+  alive : Bitset.t option;
+  seen : bool array;
+  queue : int array;
+  mutable head : int;
+  mutable tail : int;
+  ball : Bitset.t;
+  mutable size : int;
+}
+
+let ball_grower ?alive g src =
   check_src g alive src;
   let n = Graph.num_nodes g in
-  let seen = Array.make n false in
-  let out = Bitset.create n in
-  let queue = Queue.create () in
-  seen.(src) <- true;
-  Queue.add src queue;
-  let count = ref 0 in
-  while !count < k && not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
-    Bitset.add out u;
-    incr count;
-    Graph.iter_neighbors g u (fun v ->
-        if (not seen.(v)) && is_alive alive v then begin
-          seen.(v) <- true;
-          Queue.add v queue
+  let t =
+    {
+      g;
+      alive;
+      seen = Array.make n false;
+      queue = Array.make (max 1 n) 0;
+      head = 0;
+      tail = 1;
+      ball = Bitset.create n;
+      size = 0;
+    }
+  in
+  t.seen.(src) <- true;
+  t.queue.(0) <- src;
+  t
+
+let ball_size t = t.size
+
+let ball_exhausted t = t.head >= t.tail
+
+let grow_ball t k =
+  while t.size < k && t.head < t.tail do
+    let u = t.queue.(t.head) in
+    t.head <- t.head + 1;
+    Bitset.add t.ball u;
+    t.size <- t.size + 1;
+    Graph.iter_neighbors t.g u (fun v ->
+        if (not t.seen.(v)) && is_alive t.alive v then begin
+          t.seen.(v) <- true;
+          t.queue.(t.tail) <- v;
+          t.tail <- t.tail + 1
         end)
   done;
-  out
+  Bitset.copy t.ball
+
+let ball_of_size ?alive g src k = grow_ball (ball_grower ?alive g src) k
 
 let eccentricity ?alive g src =
   let dist = distances ?alive g src in

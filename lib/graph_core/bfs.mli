@@ -25,6 +25,32 @@ val ball_of_size : ?alive:Bitset.t -> Graph.t -> int -> int -> Bitset.t
     soon as at least [k] nodes are collected (or the component is
     exhausted).  BFS order makes the result connected. *)
 
+type ball_grower
+(** Resumable BFS ball growth from one source.  The traversal state
+    persists across {!grow_ball} calls, so growing through an
+    increasing size schedule (e.g. doubling) visits each node once
+    overall instead of restarting per size. *)
+
+val ball_grower : ?alive:Bitset.t -> Graph.t -> int -> ball_grower
+(** [ball_grower g src] starts a traversal at [src] with no node
+    collected yet.  [src] must be alive. *)
+
+val grow_ball : ball_grower -> int -> Bitset.t
+(** [grow_ball t k] extends the traversal until at least [k] nodes
+    are collected (or the component is exhausted) and returns a fresh
+    copy of the current ball.  [grow_ball t k] after [grow_ball t j]
+    with [j <= k] equals [ball_of_size g src k]: BFS order is
+    deterministic, so resuming and restarting agree.  Monotone: the
+    ball only ever gains nodes. *)
+
+val ball_size : ball_grower -> int
+(** Number of nodes collected so far (the cardinal of the last
+    {!grow_ball} result). *)
+
+val ball_exhausted : ball_grower -> bool
+(** True once the component of the source has been fully collected;
+    further {!grow_ball} calls return the same set. *)
+
 val eccentricity : ?alive:Bitset.t -> Graph.t -> int -> int
 (** Largest finite distance from the source. *)
 

@@ -51,6 +51,55 @@ let alive_cardinal alive u =
     Bitset.inter_into inter mask;
     Bitset.cardinal inter
 
+module Scratch = struct
+  (* Generation-stamped scratch arrays: a counter bump invalidates
+     both arrays in O(1), so repeated boundary counts (the Prune /
+     Prune2 round loops) reuse one allocation for the whole run
+     instead of building a fresh Bitset per round. *)
+  type t = { mutable stamp : int; in_set : int array; seen : int array }
+
+  let create n =
+    if n < 0 then invalid_arg "Boundary.Scratch.create: negative universe";
+    { stamp = 0; in_set = Array.make n 0; seen = Array.make n 0 }
+
+  let check t g =
+    if Array.length t.in_set <> Graph.num_nodes g then
+      invalid_arg "Boundary.Scratch: universe size mismatch"
+
+  let node_boundary_size t ?alive g u =
+    check t g;
+    t.stamp <- t.stamp + 1;
+    let m = t.stamp in
+    let in_set = t.in_set and seen = t.seen in
+    Bitset.iter (fun v -> in_set.(v) <- m) u;
+    let count = ref 0 in
+    Bitset.iter
+      (fun v ->
+        if is_alive alive v then
+          Graph.iter_neighbors g v (fun w ->
+              if in_set.(w) <> m && seen.(w) <> m && is_alive alive w then begin
+                seen.(w) <- m;
+                incr count
+              end))
+      u;
+    !count
+
+  let edge_boundary_size t ?alive g u =
+    check t g;
+    t.stamp <- t.stamp + 1;
+    let m = t.stamp in
+    let in_set = t.in_set in
+    Bitset.iter (fun v -> in_set.(v) <- m) u;
+    let count = ref 0 in
+    Bitset.iter
+      (fun v ->
+        if is_alive alive v then
+          Graph.iter_neighbors g v (fun w ->
+              if in_set.(w) <> m && is_alive alive w then incr count))
+      u;
+    !count
+end
+
 let node_expansion ?alive g u =
   let size = alive_cardinal alive u in
   if size = 0 then invalid_arg "Boundary.node_expansion: empty set";

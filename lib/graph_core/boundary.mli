@@ -19,6 +19,30 @@ val edge_boundary : ?alive:Bitset.t -> Graph.t -> Bitset.t -> (int * int) list
 val internal_edge_count : ?alive:Bitset.t -> Graph.t -> Bitset.t -> int
 (** Alive edges with both endpoints in [u]. *)
 
+module Scratch : sig
+  (** Reusable scratch state for repeated boundary counts.
+
+      The Prune / Prune2 round loops count a boundary per round;
+      {!node_boundary_size} allocates a universe-sized Bitset every
+      call.  A scratch carries two generation-stamped int arrays
+      allocated once, so each count is O(vol(u)) with zero
+      allocation and results are exactly equal to the plain
+      functions (the differential tests assert this). *)
+
+  type t
+
+  val create : int -> t
+  (** [create n] builds scratch for graphs with universe size [n]. *)
+
+  val node_boundary_size : t -> ?alive:Bitset.t -> Graph.t -> Bitset.t -> int
+  (** Equals {!Boundary.node_boundary_size} on the same arguments.
+      Raises [Invalid_argument] if the scratch universe does not
+      match the graph. *)
+
+  val edge_boundary_size : t -> ?alive:Bitset.t -> Graph.t -> Bitset.t -> int
+  (** Equals {!Boundary.edge_boundary_size} on the same arguments. *)
+end
+
 val node_expansion : ?alive:Bitset.t -> Graph.t -> Bitset.t -> float
 (** |Γ(U)| / |U∩alive|.  Raises [Invalid_argument] on an empty set. *)
 

@@ -8,7 +8,7 @@ let csr g =
     fail "xadj.(n) = %d, adj length %d" xadj.(n) (Array.length adj)
   else begin
     let error = ref None in
-    let report fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+    let report fmt = Printf.ksprintf (fun s -> if Option.is_none !error then error := Some s) fmt in
     for v = 0 to n - 1 do
       if xadj.(v + 1) < xadj.(v) then report "xadj not monotone at node %d" v;
       for k = xadj.(v) to xadj.(v + 1) - 1 do
@@ -18,7 +18,7 @@ let csr g =
         if k > xadj.(v) && adj.(k - 1) >= w then report "row of node %d not strictly sorted" v
       done
     done;
-    if !error = None then
+    if Option.is_none !error then
       (* symmetry *)
       for v = 0 to n - 1 do
         for k = xadj.(v) to xadj.(v + 1) - 1 do

@@ -83,14 +83,24 @@ let no_poly_compare =
     else i
   in
   let comparator_pos c i =
-    (* position right after the sort head, labels and one '(' skipped *)
+    (* position right after the sort head, labels and one '(' skipped;
+       the boolean records whether a '(' was consumed (a lambda
+       comparator is always parenthesized in application position) *)
     let i = skip_label c i in
-    match tok c i with Some { kind = Token.Punct; text = "("; _ } -> i + 1 | _ -> i
+    match tok c i with
+    | Some { kind = Token.Punct; text = "("; _ } -> (i + 1, true)
+    | _ -> (i, false)
   in
   let flags_at rule ctx i =
     let c = ctx.code in
-    let j = comparator_pos c i in
-    if is_ident c j "compare" && not (qualified c j) && not (is_dot c (j + 1)) then
+    let j, parenthesized = comparator_pos c i in
+    let bare_compare k = is_ident c k "compare" && not (qualified c k) && not (is_dot c (k + 1)) in
+    let stdlib_compare k =
+      (match tok c k with Some { kind = Token.Uident; text = "Stdlib"; _ } -> true | _ -> false)
+      && is_dot c (k + 1)
+      && is_ident c (k + 2) "compare"
+    in
+    if bare_compare j then
       Some
         (finding rule ctx
            ~message:
@@ -98,17 +108,43 @@ let no_poly_compare =
               comparison; use Int.compare / Float.compare or an explicit \
               monomorphic comparator"
            c.(j))
-    else if
-      (match tok c j with Some { kind = Token.Uident; text = "Stdlib"; _ } -> true | _ -> false)
-      && is_dot c (j + 1)
-      && is_ident c (j + 2) "compare"
-    then
+    else if stdlib_compare j then
       Some
         (finding rule ctx
            ~message:
              "Stdlib.compare in a sort hot path is polymorphic; use a \
               monomorphic comparator"
            c.(j))
+    else if parenthesized && (is_ident c j "fun" || is_ident c j "function") then
+      (* a lambda comparator: scan its body to the matching close paren
+         for a polymorphic compare hidden inside, e.g.
+         [Array.sort (fun a b -> compare (x.(a), a) (x.(b), b)) arr] *)
+      let n = Array.length c in
+      let rec scan k depth =
+        if depth = 0 || k >= n then None
+        else
+          match c.(k) with
+          | { kind = Token.Punct; text = "("; _ } -> scan (k + 1) (depth + 1)
+          | { kind = Token.Punct; text = ")"; _ } -> scan (k + 1) (depth - 1)
+          | _ when bare_compare k ->
+              Some
+                (finding rule ctx
+                   ~message:
+                     "polymorphic compare inside a sort comparator costs a C \
+                      call (and any tuple it compares, an allocation) per \
+                      comparison; compose Int.compare / Float.compare \
+                      monomorphically instead"
+                   c.(k))
+          | _ when stdlib_compare k ->
+              Some
+                (finding rule ctx
+                   ~message:
+                     "Stdlib.compare inside a sort comparator is polymorphic; \
+                      compose monomorphic comparators instead"
+                   c.(k))
+          | _ -> scan (k + 1) depth
+      in
+      scan (j + 1) 1
     else None
   in
   let rec check rule ctx i acc =

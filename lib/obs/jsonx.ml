@@ -79,8 +79,13 @@ let parse s =
     done
   in
   let expect c =
-    if peek () = Some c then advance () else fail (Printf.sprintf "expected %c" c)
+    match peek () with
+    | Some d when Char.equal d c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
   in
+  (* [Some c] comparisons go through this monomorphic check: [= Some c]
+     is a polymorphic equality on [char option] in the parse hot loop *)
+  let peek_is c = match peek () with Some d -> Char.equal d c | None -> false in
   let literal word value =
     let l = String.length word in
     if !pos + l <= n && String.sub s !pos l = word then begin
@@ -164,14 +169,14 @@ let parse s =
     | Some '[' ->
       advance ();
       skip_ws ();
-      if peek () = Some ']' then begin
+      if peek_is ']' then begin
         advance ();
         List []
       end
       else begin
         let items = ref [ parse_value () ] in
         skip_ws ();
-        while peek () = Some ',' do
+        while peek_is ',' do
           advance ();
           items := parse_value () :: !items;
           skip_ws ()
@@ -182,7 +187,7 @@ let parse s =
     | Some '{' ->
       advance ();
       skip_ws ();
-      if peek () = Some '}' then begin
+      if peek_is '}' then begin
         advance ();
         Obj []
       end
@@ -197,7 +202,7 @@ let parse s =
         in
         let fields = ref [ field () ] in
         skip_ws ();
-        while peek () = Some ',' do
+        while peek_is ',' do
           advance ();
           fields := field () :: !fields;
           skip_ws ()

@@ -38,6 +38,47 @@ val init : ?obs:Fn_obs.Sink.t -> ?domains:int -> int -> (int -> 'b) -> 'b array
 (** [init n f] is [map f [|0; ...; n-1|]] without building the input
     array. *)
 
+module Pool : sig
+  (** Long-lived worker domains for iterative parallel-for kernels.
+
+      {!map} spawns fresh domains per call — fine for Monte-Carlo
+      trials, ruinous inside an iteration that runs the same small
+      parallel region a thousand times (the spectral matvec).  A pool
+      spawns [domains - 1] workers once; each {!run} republishes a
+      job to them and blocks until all are done.  Idle workers block
+      on a condition variable rather than spin, so oversubscription
+      (domains > cores) degrades gracefully.
+
+      Determinism: {!run} imposes no ordering between workers, so
+      jobs must write disjoint state (e.g. disjoint index ranges of a
+      shared array).  Under that discipline results are identical for
+      every pool size, including 1. *)
+
+  type t
+
+  val create : ?domains:int -> unit -> t
+  (** [create ~domains ()] spawns [domains - 1] worker domains
+      ([domains] defaults to {!default_domains}; clamped to >= 1).
+      A pool of size 1 spawns nothing and {!run} executes inline. *)
+
+  val size : t -> int
+  (** Total workers including the calling domain (= [domains]). *)
+
+  val run : t -> (int -> unit) -> unit
+  (** [run t f] executes [f w] on every worker [w] in
+      [0 .. size - 1] ([f 0] on the calling domain) and returns when
+      all are finished.  A job exception is re-raised as
+      {!Job_failed} with the lowest failing worker index; the barrier
+      still completes first. *)
+
+  val shutdown : t -> unit
+  (** Stop and join the workers.  Idempotent.  Using {!run} after
+      [shutdown] executes only worker 0 inline. *)
+
+  val with_pool : ?domains:int -> (t -> 'a) -> 'a
+  (** Scoped {!create} / {!shutdown} (shutdown also on raise). *)
+end
+
 val trials :
   ?obs:Fn_obs.Sink.t ->
   ?domains:int ->

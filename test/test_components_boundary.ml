@@ -114,6 +114,53 @@ let prop_gamma_bounds =
       let gm = Components.gamma g in
       gm >= 0.0 && gm <= 1.0)
 
+(* ---- differential: generation-stamped Scratch vs plain counts ----
+   A single scratch is reused across every query (the Prune access
+   pattern); each result must equal the allocating implementation. *)
+
+let gen_graph_sets_mask =
+  let open QCheck2.Gen in
+  Testutil.gen_connected_graph ~max_n:10 () >>= fun g ->
+  let n = Graph.num_nodes g in
+  let gen_mask =
+    int_range 1 ((1 lsl n) - 1) >>= fun m ->
+    let s = Bitset.create n in
+    for v = 0 to n - 1 do
+      if (m lsr v) land 1 = 1 then Bitset.add s v
+    done;
+    return s
+  in
+  list_size (int_range 1 6) gen_mask >>= fun sets ->
+  gen_mask >>= fun alive -> return (g, sets, alive)
+
+let prop_scratch_node_boundary_matches =
+  prop "reused Scratch node counts equal fresh node_boundary_size" ~count:200
+    gen_graph_sets_mask (fun (g, sets, alive) ->
+      let scratch = Boundary.Scratch.create (Graph.num_nodes g) in
+      List.for_all
+        (fun u ->
+          Boundary.Scratch.node_boundary_size scratch g u = Boundary.node_boundary_size g u
+          && Boundary.Scratch.node_boundary_size scratch ~alive g u
+             = Boundary.node_boundary_size ~alive g u)
+        sets)
+
+let prop_scratch_edge_boundary_matches =
+  prop "reused Scratch edge counts equal fresh edge_boundary_size" ~count:200
+    gen_graph_sets_mask (fun (g, sets, alive) ->
+      let scratch = Boundary.Scratch.create (Graph.num_nodes g) in
+      List.for_all
+        (fun u ->
+          Boundary.Scratch.edge_boundary_size scratch g u = Boundary.edge_boundary_size g u
+          && Boundary.Scratch.edge_boundary_size scratch ~alive g u
+             = Boundary.edge_boundary_size ~alive g u)
+        sets)
+
+let test_scratch_universe_check () =
+  let scratch = Boundary.Scratch.create 4 in
+  Alcotest.check_raises "universe mismatch"
+    (Invalid_argument "Boundary.Scratch: universe size mismatch") (fun () ->
+      ignore (Boundary.Scratch.node_boundary_size scratch path5 (Bitset.of_list 5 [ 0 ])))
+
 let () =
   Alcotest.run "components_boundary"
     [
@@ -141,5 +188,11 @@ let () =
           prop_edge_boundary_symmetric;
           prop_boundary_le_edge_boundary;
           prop_gamma_bounds;
+        ] );
+      ( "scratch",
+        [
+          case "universe check" test_scratch_universe_check;
+          prop_scratch_node_boundary_matches;
+          prop_scratch_edge_boundary_matches;
         ] );
     ]

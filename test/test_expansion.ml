@@ -153,6 +153,32 @@ let prop_witness_is_valid_cut =
       let est = Estimate.run ~force_heuristic:true ~rng:(rng ()) g Cut.Edge in
       abs_float (Cut.value_of g Cut.Edge est.Estimate.witness -. est.Estimate.value) < 1e-9)
 
+let test_estimate_domains_one_is_default () =
+  (* ~domains:1 must be the same sequential code path as the default *)
+  let g, _ = Fn_topology.Mesh.cube ~d:2 ~side:8 in
+  let a = Estimate.run ~rng:(rng ()) g Cut.Edge in
+  let b = Estimate.run ~rng:(rng ()) ~domains:1 g Cut.Edge in
+  check_bool "value bits" true
+    (Int64.equal (Int64.bits_of_float a.Estimate.value) (Int64.bits_of_float b.Estimate.value));
+  check_bool "witness" true (Bitset.equal a.Estimate.witness b.Estimate.witness);
+  check_bool "exact flag" true (a.Estimate.exact = b.Estimate.exact)
+
+let test_estimate_parallel_independent_of_domain_count () =
+  (* domains>1 is one fixed algorithm variant: the result depends on
+     turning parallelism on, never on how many domains run it *)
+  let g, _ = Fn_topology.Mesh.cube ~d:2 ~side:8 in
+  let a = Estimate.run ~rng:(rng ()) ~domains:2 g Cut.Edge in
+  let b = Estimate.run ~rng:(rng ()) ~domains:4 g Cut.Edge in
+  let c = Estimate.run ~rng:(rng ()) ~domains:2 g Cut.Edge in
+  check_bool "2 vs 4 value bits" true
+    (Int64.equal (Int64.bits_of_float a.Estimate.value) (Int64.bits_of_float b.Estimate.value));
+  check_bool "2 vs 4 witness" true (Bitset.equal a.Estimate.witness b.Estimate.witness);
+  check_bool "repeatable" true
+    (Int64.equal (Int64.bits_of_float a.Estimate.value) (Int64.bits_of_float c.Estimate.value));
+  (* and it is still a sound upper bound with a consistent witness *)
+  check_bool "witness value" true
+    (abs_float (Cut.value_of g Cut.Edge a.Estimate.witness -. a.Estimate.value) < 1e-9)
+
 let prop_analytic_formulas_guard =
   prop "analytic guards reject bad input" (QCheck2.Gen.int_range (-3) 1) (fun n ->
       (try
@@ -190,6 +216,9 @@ let () =
           case "estimate mesh 8x8" test_estimate_heuristic_on_larger;
           case "estimate alive mask" test_estimate_alive_mask;
           case "estimate needs 2 nodes" test_estimate_requires_two;
+          case "estimate domains=1 is default" test_estimate_domains_one_is_default;
+          case "estimate parallel domain-count invariant"
+            test_estimate_parallel_independent_of_domain_count;
           case "edge profile path" test_edge_profile_path;
           case "edge profile hypercube" test_edge_profile_hypercube;
         ] );

@@ -104,6 +104,31 @@ let test_no_poly_compare () =
   | [ f ] -> check_int "line of finding" 2 f.line
   | _ -> Alcotest.fail "expected exactly one finding")
 
+let test_no_poly_compare_in_lambda () =
+  (* the gap that let the sweep sort comparator through: a lambda
+     comparator whose body calls bare polymorphic compare *)
+  let hit src = List.mem "no-poly-compare" (rules_hit (lint src)) in
+  check_bool "lambda tuple compare" true
+    (hit "let () = Array.sort (fun a b -> compare (x.(a), a) (x.(b), b)) arr");
+  check_bool "lambda bare compare" true (hit "let s = List.sort (fun a b -> compare a b) xs");
+  check_bool "lambda Stdlib.compare" true
+    (hit "let s = List.sort (fun a b -> Stdlib.compare a b) xs");
+  check_bool "lambda flipped compare" true (hit "let s = List.sort (fun a b -> compare b a) xs");
+  check_bool "labelled lambda" true
+    (hit "let s = ListLabels.sort ~cmp:(fun a b -> compare a b) xs");
+  check_bool "function keyword" true
+    (hit "let s = List.sort (function a -> fun b -> compare a b) xs");
+  check_bool "monomorphic lambda ok" false
+    (hit
+       "let s =\n\
+       \  Array.sort (fun a b ->\n\
+       \      let c = Float.compare score.(a) score.(b) in\n\
+       \      if c <> 0 then c else Int.compare a b) arr");
+  check_bool "module compare in lambda ok" false
+    (hit "let s = List.sort (fun a b -> Edge.compare a b) xs");
+  check_bool "compare after close paren ok" false
+    (hit "let s = List.sort (fun a b -> Int.compare a b) xs in let c = compare p q")
+
 let test_no_catchall_exn () =
   let hit src = List.mem "no-catchall-exn" (rules_hit (lint src)) in
   check_bool "try with _" true (hit "let x = try f () with _ -> 0");
@@ -300,6 +325,7 @@ let () =
         [
           Alcotest.test_case "no-global-random" `Quick test_no_global_random;
           Alcotest.test_case "no-poly-compare" `Quick test_no_poly_compare;
+          Alcotest.test_case "no-poly-compare in lambda" `Quick test_no_poly_compare_in_lambda;
           Alcotest.test_case "no-catchall-exn" `Quick test_no_catchall_exn;
           Alcotest.test_case "mli-required" `Quick test_mli_required;
           Alcotest.test_case "no-print-in-lib" `Quick test_no_print_in_lib;

@@ -91,6 +91,68 @@ let test_job_failed_siblings_complete () =
   check_int "failing index" 0 index;
   check_int "sibling chunks ran to completion" 13 (Atomic.get ran)
 
+(* ---- Pool ---- *)
+
+let pool_sum pool n =
+  (* disjoint-range parallel sum into per-worker slots *)
+  let workers = Par.Pool.size pool in
+  let chunk = (n + workers - 1) / workers in
+  let partial = Array.make workers 0 in
+  Par.Pool.run pool (fun w ->
+      let lo = w * chunk and hi = min n ((w + 1) * chunk) in
+      let s = ref 0 in
+      for i = lo to hi - 1 do
+        s := !s + i
+      done;
+      partial.(w) <- !s);
+  Array.fold_left ( + ) 0 partial
+
+let test_pool_matches_sequential () =
+  let n = 1000 in
+  let expected = n * (n - 1) / 2 in
+  List.iter
+    (fun domains ->
+      Par.Pool.with_pool ~domains (fun pool ->
+          check_int (Printf.sprintf "domains=%d" domains) expected (pool_sum pool n)))
+    [ 1; 2; 4; 7 ]
+
+let test_pool_reuse () =
+  (* many runs on one pool — the spectral matvec access pattern *)
+  Par.Pool.with_pool ~domains:4 (fun pool ->
+      for n = 1 to 200 do
+        Alcotest.(check int) "reused" (n * (n - 1) / 2) (pool_sum pool n)
+      done)
+
+let test_pool_size_one_inline () =
+  Par.Pool.with_pool ~domains:1 (fun pool ->
+      check_int "size" 1 (Par.Pool.size pool);
+      let ran = ref (-1) in
+      Par.Pool.run pool (fun w -> ran := w);
+      check_int "worker 0 inline" 0 !ran)
+
+let test_pool_job_failed () =
+  Par.Pool.with_pool ~domains:4 (fun pool ->
+      match Par.Pool.run pool (fun w -> if w >= 2 then failwith "boom") with
+      | () -> Alcotest.fail "expected Job_failed"
+      | exception Par.Job_failed { index; exn = Failure m } ->
+        check_int "lowest failing worker" 2 index;
+        Alcotest.(check string) "original exn" "boom" m
+      | exception e -> raise e);
+  (* the pool survives a failing job *)
+  Par.Pool.with_pool ~domains:4 (fun pool ->
+      (try Par.Pool.run pool (fun _ -> failwith "boom") with Par.Job_failed _ -> ());
+      check_int "usable after failure" 10 (pool_sum pool 5))
+
+let test_pool_shutdown_idempotent () =
+  let pool = Par.Pool.create ~domains:3 () in
+  check_int "before" 3 (pool_sum pool 3);
+  Par.Pool.shutdown pool;
+  Par.Pool.shutdown pool;
+  (* post-shutdown runs execute only worker 0 inline, per contract *)
+  let visited = ref [] in
+  Par.Pool.run pool (fun w -> visited := w :: !visited);
+  check_bool "only worker 0" true (!visited = [ 0 ])
+
 let test_default_domains_reasonable () =
   let d = Par.default_domains () in
   check_bool "within [1,8]" true (d >= 1 && d <= 8)
@@ -111,5 +173,13 @@ let () =
           case "job failure lowest index" test_job_failed_lowest_index_wins;
           case "job failure isolation" test_job_failed_siblings_complete;
           case "default domains" test_default_domains_reasonable;
+        ] );
+      ( "pool",
+        [
+          case "matches sequential" test_pool_matches_sequential;
+          case "reuse across runs" test_pool_reuse;
+          case "size one inline" test_pool_size_one_inline;
+          case "job failure" test_pool_job_failed;
+          case "shutdown idempotent" test_pool_shutdown_idempotent;
         ] );
     ]

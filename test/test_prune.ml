@@ -120,6 +120,46 @@ let prop_prune_random_graphs_certify =
         && n >= Bitset.cardinal res.Prune.kept
       end)
 
+(* The run computes round boundaries through the incremental
+   Boundary.Scratch; a naive replay with the allocating
+   node_boundary_size must see the same numbers round for round. *)
+let prop_round_boundaries_match_naive_replay =
+  prop "recorded round boundaries equal a naive replay" ~count:40
+    (Testutil.gen_connected_graph ~max_n:14 ())
+    (fun g ->
+      let r = Fn_prng.Rng.create 23 in
+      let faults = Fn_faults.Random_faults.nodes_iid r g 0.25 in
+      let alive = faults.Fn_faults.Fault_set.alive in
+      if Bitset.cardinal alive < 2 then true
+      else begin
+        let res = Prune.run ~rng:r g ~alive ~alpha:0.5 ~epsilon:0.5 in
+        let current = Bitset.copy alive in
+        List.for_all
+          (fun c ->
+            let expected = Boundary.node_boundary_size ~alive:current g c.Prune.set in
+            let ok = expected = c.Prune.boundary in
+            Bitset.diff_into current c.Prune.set;
+            ok)
+          res.Prune.culled
+      end)
+
+let test_domains_one_equals_default () =
+  (* the ~domains:1 path must be the byte-identical sequential path *)
+  let g, _ = Fn_topology.Mesh.cube ~d:2 ~side:6 in
+  let faults = Fn_faults.Random_faults.nodes_iid (Fn_prng.Rng.create 3) g 0.2 in
+  let alive = faults.Fn_faults.Fault_set.alive in
+  let a = Prune.run ~rng:(Fn_prng.Rng.create 5) g ~alive ~alpha:0.17 ~epsilon:0.5 in
+  let b = Prune.run ~rng:(Fn_prng.Rng.create 5) ~domains:1 g ~alive ~alpha:0.17 ~epsilon:0.5 in
+  check_bool "kept equal" true (Bitset.equal a.Prune.kept b.Prune.kept);
+  check_int "same rounds" a.Prune.iterations b.Prune.iterations;
+  check_bool "same certificates" true
+    (List.for_all2
+       (fun x y ->
+         Bitset.equal x.Prune.set y.Prune.set
+         && x.Prune.size = y.Prune.size
+         && x.Prune.boundary = y.Prune.boundary)
+       a.Prune.culled b.Prune.culled)
+
 let () =
   Alcotest.run "prune"
     [
@@ -133,6 +173,8 @@ let () =
           case "theorem 2.1 accounting" test_theorem21_bound_holds;
           case "verify rejects tampering" test_verify_rejects_tampering;
           case "idempotent" test_prune_idempotent;
+          case "domains=1 equals default" test_domains_one_equals_default;
         ] );
-      ("properties", [ prop_prune_random_graphs_certify ]);
+      ( "properties",
+        [ prop_prune_random_graphs_certify; prop_round_boundaries_match_naive_replay ] );
     ]

@@ -91,6 +91,28 @@ let prop_certificates_on_random_graphs =
         Prune2.verify_certificates g ~alive res
       end)
 
+(* Round edge boundaries come from the reused Boundary.Scratch; a
+   naive replay with the allocating edge_boundary_size must agree. *)
+let prop_round_edge_boundaries_match_naive_replay =
+  prop "recorded round edge boundaries equal a naive replay" ~count:40
+    (Testutil.gen_connected_graph ~max_n:14 ())
+    (fun g ->
+      let r = Fn_prng.Rng.create 31 in
+      let faults = Fn_faults.Random_faults.nodes_iid r g 0.25 in
+      let alive = faults.Fn_faults.Fault_set.alive in
+      if Bitset.cardinal alive < 2 then true
+      else begin
+        let res = Prune2.run ~rng:r g ~alive ~alpha_e:0.5 ~epsilon:0.5 in
+        let current = Bitset.copy alive in
+        List.for_all
+          (fun c ->
+            let expected = Boundary.edge_boundary_size ~alive:current g c.Prune2.compacted in
+            let ok = expected = c.Prune2.edge_boundary in
+            Bitset.diff_into current c.Prune2.compacted;
+            ok)
+          res.Prune2.culled
+      end)
+
 let () =
   Alcotest.run "prune2"
     [
@@ -103,5 +125,6 @@ let () =
           case "partition accounting" test_partition_accounting;
           case "theorem 3.4 regime" test_theorem34_regime;
         ] );
-      ("properties", [ prop_certificates_on_random_graphs ]);
+      ( "properties",
+        [ prop_certificates_on_random_graphs; prop_round_edge_boundaries_match_naive_replay ] );
     ]

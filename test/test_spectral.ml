@@ -77,6 +77,30 @@ let test_isolated_alive_nodes_tolerated () =
   let r = Spectral.lambda2 g in
   check_bool "finite" true (Float.is_finite r.Spectral.lambda2)
 
+let test_domains_bitwise_identical () =
+  (* the parallel matvec splits rows across workers but keeps the
+     per-row FP order, so every domain count gives the same bits;
+     1024 nodes sits at the parallel threshold, and the expander's
+     spectral gap keeps the iteration count small *)
+  let g = Fn_topology.Expander.random_regular (Fn_prng.Rng.create 99) ~n:1024 ~d:6 in
+  let a = Spectral.lambda2 g in
+  List.iter
+    (fun domains ->
+      let b = Spectral.lambda2 ~domains g in
+      check_bool
+        (Printf.sprintf "lambda2 bits equal, domains=%d" domains)
+        true
+        (Int64.equal
+           (Int64.bits_of_float a.Spectral.lambda2)
+           (Int64.bits_of_float b.Spectral.lambda2));
+      check_bool
+        (Printf.sprintf "fiedler bits equal, domains=%d" domains)
+        true
+        (Array.for_all2
+           (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+           a.Spectral.fiedler b.Spectral.fiedler))
+    [ 1; 2; 3; 4 ]
+
 let () =
   Alcotest.run "spectral"
     [
@@ -91,6 +115,7 @@ let () =
           case "fiedler separates barbell" test_fiedler_separates_barbell;
           case "cheeger sandwich" test_cheeger_sandwich;
           case "alive mask" test_alive_mask_restriction;
+          case "domains bitwise identical" test_domains_bitwise_identical;
           case "conductance conversion" test_conductance_conversion;
           case "isolated nodes" test_isolated_alive_nodes_tolerated;
         ] );

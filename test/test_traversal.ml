@@ -114,6 +114,136 @@ let prop_reachable_equals_dfs =
   prop "BFS and DFS reachability agree" (Testutil.gen_any_graph ~max_n:12 ()) (fun g ->
       Bitset.equal (Bfs.reachable g 0) (Dfs.reachable g 0))
 
+(* ---- differential: ring-buffer BFS vs a Queue-based reference ----
+   The production BFS uses a flat int-array ring buffer; this reference
+   is the classic Stdlib.Queue formulation it replaced.  Identical
+   neighbor iteration order means every observable (distances, parents,
+   balls) must agree exactly. *)
+
+module Ref_bfs = struct
+  let is_alive alive v = match alive with None -> true | Some m -> Bitset.mem m v
+
+  let distances ?alive g src =
+    let n = Graph.num_nodes g in
+    let dist = Array.make n (-1) in
+    let q = Queue.create () in
+    dist.(src) <- 0;
+    Queue.push src q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      Graph.iter_neighbors g u (fun v ->
+          if dist.(v) < 0 && is_alive alive v then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.push v q
+          end)
+    done;
+    dist
+
+  let tree ?alive g src =
+    let n = Graph.num_nodes g in
+    let parent = Array.make n (-1) in
+    let q = Queue.create () in
+    parent.(src) <- src;
+    Queue.push src q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      Graph.iter_neighbors g u (fun v ->
+          if parent.(v) < 0 && is_alive alive v then begin
+            parent.(v) <- u;
+            Queue.push v q
+          end)
+    done;
+    parent
+
+  let ball_of_size ?alive g src k =
+    let n = Graph.num_nodes g in
+    let seen = Array.make n false in
+    let ball = Bitset.create n in
+    let q = Queue.create () in
+    seen.(src) <- true;
+    Queue.push src q;
+    let size = ref 0 in
+    while !size < k && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      Bitset.add ball u;
+      incr size;
+      Graph.iter_neighbors g u (fun v ->
+          if (not seen.(v)) && is_alive alive v then begin
+            seen.(v) <- true;
+            Queue.push v q
+          end)
+    done;
+    ball
+end
+
+(* graph + alive mask (always containing the source) + source *)
+let gen_graph_mask_src =
+  let open QCheck2.Gen in
+  Testutil.gen_connected_graph ~max_n:14 () >>= fun g ->
+  let n = Graph.num_nodes g in
+  int_range 0 ((1 lsl n) - 1) >>= fun mask ->
+  int_range 0 (n - 1) >>= fun src ->
+  let alive = Bitset.create n in
+  for v = 0 to n - 1 do
+    if (mask lsr v) land 1 = 1 then Bitset.add alive v
+  done;
+  Bitset.add alive src;
+  return (g, alive, src)
+
+let prop_ring_distances_match_queue =
+  prop "ring-buffer distances equal Queue reference" ~count:300 gen_graph_mask_src
+    (fun (g, alive, src) ->
+      Bfs.distances ~alive g src = Ref_bfs.distances ~alive g src
+      && Bfs.distances g src = Ref_bfs.distances g src)
+
+let prop_ring_tree_matches_queue =
+  prop "ring-buffer parents equal Queue reference" ~count:300 gen_graph_mask_src
+    (fun (g, alive, src) ->
+      Bfs.tree ~alive g src = Ref_bfs.tree ~alive g src
+      && Bfs.tree g src = Ref_bfs.tree g src)
+
+let prop_ring_ball_matches_queue =
+  prop "ball_of_size equals Queue reference for every k" ~count:150 gen_graph_mask_src
+    (fun (g, alive, src) ->
+      let n = Graph.num_nodes g in
+      let ok = ref true in
+      for k = 0 to n + 1 do
+        if not (Bitset.equal (Bfs.ball_of_size ~alive g src k) (Ref_bfs.ball_of_size ~alive g src k))
+        then ok := false
+      done;
+      !ok)
+
+let prop_grow_ball_resume_equals_restart =
+  prop "grow_ball through a size schedule equals restarting per size" ~count:150
+    gen_graph_mask_src (fun (g, alive, src) ->
+      let n = Graph.num_nodes g in
+      let grower = Bfs.ball_grower ~alive g src in
+      let ok = ref true in
+      let k = ref 1 in
+      let prev = ref 0 in
+      while !k <= 2 * n do
+        let resumed = Bfs.grow_ball grower !k in
+        if not (Bitset.equal resumed (Bfs.ball_of_size ~alive g src !k)) then ok := false;
+        if Bitset.cardinal resumed <> Bfs.ball_size grower then ok := false;
+        if Bfs.ball_size grower < !prev then ok := false;
+        prev := Bfs.ball_size grower;
+        k := !k * 2
+      done;
+      (* past the component size the traversal must report exhaustion *)
+      Bfs.ball_exhausted grower && !ok)
+
+let test_ball_grower_exhaustion () =
+  let t = Bfs.ball_grower path5 0 in
+  let b = Bfs.grow_ball t 3 in
+  check_int "grew to 3" 3 (Bitset.cardinal b);
+  check_bool "not exhausted at 3 of 5" false (Bfs.ball_exhausted t);
+  let b = Bfs.grow_ball t 100 in
+  check_int "capped at component" 5 (Bitset.cardinal b);
+  check_bool "exhausted" true (Bfs.ball_exhausted t);
+  check_int "ball_size tracks" 5 (Bfs.ball_size t);
+  (* further growth is a no-op *)
+  check_bool "idempotent once exhausted" true (Bitset.equal (Bfs.grow_ball t 100) b)
+
 let () =
   Alcotest.run "traversal"
     [
@@ -128,6 +258,7 @@ let () =
           case "tree and path_to" test_tree_and_path_to;
           case "ball" test_ball;
           case "ball_of_size" test_ball_of_size;
+          case "ball grower exhaustion" test_ball_grower_exhaustion;
           case "eccentricity" test_eccentricity;
         ] );
       ( "dfs",
@@ -137,4 +268,11 @@ let () =
           case "forest" test_dfs_forest;
         ] );
       ("properties", [ prop_bfs_distances_triangle_inequality; prop_reachable_equals_dfs ]);
+      ( "differential",
+        [
+          prop_ring_distances_match_queue;
+          prop_ring_tree_matches_queue;
+          prop_ring_ball_matches_queue;
+          prop_grow_ball_resume_equals_restart;
+        ] );
     ]
