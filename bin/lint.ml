@@ -1,6 +1,7 @@
 (* faultnet-lint driver.
 
-   Usage: lint [--json] [--strict] [--list-rules] [--root DIR] [PATH ...]
+   Usage: lint [--json] [--strict] [--list-rules] [--only RULE]
+               [--explain RULE] [--root DIR] [PATH ...]
 
    PATHs (default: lib bin test examples bench) are files or directories
    scanned recursively for .ml/.mli, relative to the repo root.  Exit
@@ -11,39 +12,52 @@ let default_paths = [ "lib"; "bin"; "test"; "examples"; "bench" ]
 
 let usage () =
   prerr_endline
-    "usage: lint [--json] [--strict] [--list-rules] [--root DIR] [PATH ...]\n\
-     \  --json        emit findings as a JSON array\n\
-     \  --strict      exit 1 on warnings too, not just errors\n\
-     \  --list-rules  print the rule set and exit\n\
-     \  --root DIR    chdir to DIR before scanning (paths are repo-relative)";
+    "usage: lint [--json] [--strict] [--list-rules] [--only RULE] [--explain RULE]\n\
+     \            [--root DIR] [PATH ...]\n\
+     \  --json          emit findings as a JSON array\n\
+     \  --strict        exit 1 on warnings too, not just errors\n\
+     \  --list-rules    print the rule set and exit\n\
+     \  --only RULE     run a single rule (repeatable); for local iteration\n\
+     \  --explain RULE  describe one rule (severity, doc, allowlisted paths) and exit\n\
+     \  --root DIR      chdir to DIR before scanning (paths are repo-relative)";
   exit 2
 
-let is_source f =
-  Fn_lint.Rules.ends_with ~suffix:".ml" f || Fn_lint.Rules.ends_with ~suffix:".mli" f
-
-(* Skip build/VCS directories wherever the scan starts. *)
-let skip_dir name = name = "" || name.[0] = '_' || name.[0] = '.'
-
-let rec collect path acc =
-  if Sys.is_directory path then
-    Array.fold_left
-      (fun acc entry ->
-        if skip_dir entry then acc else collect (Filename.concat path entry) acc)
-      acc (Sys.readdir path)
-  else if is_source path then path :: acc
-  else acc
+let find_rule name =
+  match Fn_lint.Rules.find name with
+  | Some r -> r
+  | None ->
+    prerr_endline ("lint: unknown rule: " ^ name ^ " (see --list-rules)");
+    exit 2
 
 let list_rules () =
   List.iter
     (fun (r : Fn_lint.Rule.t) ->
-      Printf.printf "%-18s %-8s %s\n" r.name
+      Printf.printf "%-24s %-8s %s\n" r.name
         (Fn_lint.Rule.severity_to_string r.severity)
         r.doc)
     Fn_lint.Rules.all;
   exit 0
 
+let explain name =
+  let r = find_rule name in
+  Printf.printf "%s (%s)\n  %s\n" r.name
+    (Fn_lint.Rule.severity_to_string r.severity)
+    r.doc;
+  (match List.assoc_opt r.name Fn_lint.Rules.allowlist with
+  | None | Some [] -> ()
+  | Some pats ->
+    let show = function
+      | Fn_lint.Rules.Prefix p -> p ^ "*"
+      | Fn_lint.Rules.Basename b -> "**/" ^ b
+    in
+    Printf.printf "  allowlisted: %s\n" (String.concat ", " (List.map show pats)));
+  Printf.printf
+    "  suppress one site with:  (* lint: allow %s <justification> *)\n" r.name;
+  exit 0
+
 let () =
   let json = ref false and strict = ref false and paths = ref [] in
+  let only = ref [] in
   let args = Array.to_list Sys.argv in
   let rec parse = function
     | [] -> ()
@@ -54,35 +68,37 @@ let () =
         strict := true;
         parse rest
     | "--list-rules" :: _ -> list_rules ()
+    | "--explain" :: name :: _ -> explain name
+    | "--only" :: name :: rest ->
+        only := find_rule name :: !only;
+        parse rest
     | "--root" :: dir :: rest ->
         (try Sys.chdir dir
          with Sys_error msg ->
            prerr_endline ("lint: " ^ msg);
            exit 2);
         parse rest
-    | ("--help" | "-h" | "--root") :: _ -> usage ()
+    | ("--help" | "-h" | "--root" | "--only" | "--explain") :: _ -> usage ()
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
     | p :: rest ->
         paths := p :: !paths;
         parse rest
   in
   parse (List.tl args);
+  let rules = match !only with [] -> None | rs -> Some (List.rev rs) in
   let roots = if !paths = [] then default_paths else List.rev !paths in
-  let files =
-    List.concat_map
-      (fun p ->
-        if Sys.file_exists p then collect p []
-        else begin
-          prerr_endline ("lint: no such file or directory: " ^ p);
-          exit 2
-        end)
-      roots
-    |> List.sort_uniq String.compare
-  in
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then begin
+        prerr_endline ("lint: no such file or directory: " ^ p);
+        exit 2
+      end)
+    roots;
+  let files = Fn_lint.Engine.collect roots in
   let findings =
     List.concat_map
       (fun f ->
-        try Fn_lint.Engine.lint_file f
+        try Fn_lint.Engine.lint_file ?rules f
         with Sys_error msg ->
           prerr_endline ("lint: " ^ msg);
           exit 2)

@@ -234,6 +234,31 @@ let () =
       Faultnet.Prune.run ~rng:(fresh ()) (Lazy.force mesh16)
         ~alive:faults.Fn_faults.Fault_set.alive ~alpha:0.5 ~epsilon:0.5)
 
+(* the full static-analysis pass over the repo's own sources: tokenise,
+   build scope trees and run all rules on every .ml/.mli; tracks the
+   analyzer's cost as the rule set and the tree grow.  Sources are read
+   once in prepare so the timed region is pure analysis. *)
+let lint_sources =
+  lazy
+    (match Fn_lint.Engine.collect [ "lib"; "bin"; "test"; "examples"; "bench" ] with
+    | [] -> failwith "lint_repo: no sources found (run from the repo root)"
+    | files ->
+      List.map
+        (fun p ->
+          let mli_exists =
+            if Filename.check_suffix p ".ml" then Some (Sys.file_exists (p ^ "i"))
+            else None
+          in
+          (p, mli_exists, Fn_lint.Engine.read_file p))
+        files)
+
+let () =
+  reg ~suite:substrate "lint_repo" (dep lint_sources) (fun () ->
+      List.fold_left
+        (fun acc (path, mli_exists, src) ->
+          acc + List.length (Fn_lint.Engine.lint_string ?mli_exists ~path src))
+        0 (Lazy.force lint_sources))
+
 (* ---- ablations ---- *)
 
 (* the degenerate-eigenspace fix: a single Fiedler sweep vs the

@@ -73,8 +73,9 @@ let compare_findings (a : Rule.finding) (b : Rule.finding) =
 
 let lint_string ?(rules = Rules.all) ~path ?mli_exists source =
   let tokens = Token.tokenize source in
+  let code = Token.code tokens in
   let ctx =
-    { Rule.path; source; tokens; code = Token.code tokens; mli_exists }
+    { Rule.path; source; tokens; code; mli_exists; scope = lazy (Scope.build code) }
   in
   let sups = suppressions tokens in
   List.concat_map
@@ -106,3 +107,26 @@ let lint_file ?rules path =
 
 let errors findings =
   List.filter (fun (f : Rule.finding) -> f.severity = Rule.Error) findings
+
+(* Source discovery, shared by bin/lint and the lint_repo bench kernel:
+   .ml/.mli files under the given roots, skipping _build-style and
+   hidden directories, sorted for stable output. *)
+
+let is_source path =
+  Rules.ends_with ~suffix:".ml" path || Rules.ends_with ~suffix:".mli" path
+
+let skip_dir name =
+  String.length name > 0 && (name.[0] = '_' || name.[0] = '.')
+
+let collect roots =
+  let out = ref [] in
+  let rec walk path =
+    if Sys.is_directory path then
+      Array.iter
+        (fun entry ->
+          if not (skip_dir entry) then walk (Filename.concat path entry))
+        (Sys.readdir path)
+    else if is_source path then out := path :: !out
+  in
+  List.iter (fun root -> if Sys.file_exists root then walk root) roots;
+  List.sort String.compare !out

@@ -25,3 +25,8 @@ val errors : Rule.finding list -> Rule.finding list
 (** Only the [Error]-severity findings. *)
 
 val read_file : string -> string
+
+val collect : string list -> string list
+(** [.ml]/[.mli] files under the given roots (skipping [_build]-style
+    and hidden directories), sorted; missing roots are ignored.  Shared
+    by [bin/lint] and the [lint_repo] bench kernel. *)

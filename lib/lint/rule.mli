@@ -21,6 +21,9 @@ type ctx = {
   mli_exists : bool option;
       (** [Some b] when [path] is a [lib/**.ml] implementation file and a
           matching interface does (not) exist; [None] otherwise. *)
+  scope : Scope.t Lazy.t;
+      (** scope tree over [code]; built on first use by a scope-aware
+          rule, so token-only runs pay nothing for it *)
 }
 
 type t = {

@@ -460,6 +460,14 @@ let no_exit_in_lib =
 (* Registry and allowlist                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Tier 2: scope-aware rules (see Scope/Analysis).  Defined in their
+   own modules; re-exported here so the registry stays the one list. *)
+let par_capture_mutation = Rules_par.par_capture_mutation
+let rng_unsplit_in_par = Rules_par.rng_unsplit_in_par
+let par_float_reduce = Rules_par.par_float_reduce
+let hashtbl_order_dependence = Rules_order.hashtbl_order_dependence
+let dls_outside_obs = Rules_order.dls_outside_obs
+
 let all =
   [
     no_global_random;
@@ -470,6 +478,11 @@ let all =
     no_raw_timing;
     no_todo_naked;
     no_exit_in_lib;
+    par_capture_mutation;
+    rng_unsplit_in_par;
+    par_float_reduce;
+    hashtbl_order_dependence;
+    dls_outside_obs;
   ]
 
 let find name = List.find_opt (fun r -> r.name = name) all
@@ -495,6 +508,16 @@ let allowlist =
     (* lib/obs/span.ml defines and internally calls its own [exit]
        (closing a span); that shadowed name is not Stdlib.exit *)
     ("no-exit-in-lib", [ Basename "span.ml" ]);
+    (* lib/parallel implements the blessed primitives themselves: its
+       fork-join plumbing writes disjoint per-chunk slots and takes the
+       pool mutex by construction, which is exactly what these rules
+       tell everyone else to reach for *)
+    ("par-capture-mutation", [ Prefix "lib/parallel/" ]);
+    ("par-float-reduce", [ Prefix "lib/parallel/" ]);
+    ("rng-unsplit-in-par", [ Prefix "lib/parallel/" ]);
+    (* lib/obs/span.ml's per-domain span stack is the one sanctioned
+       Domain.DLS use (the rule's own doc says so) *)
+    ("dls-outside-obs", [ Prefix "lib/obs/" ]);
   ]
 
 let allowed ~rule ~path =

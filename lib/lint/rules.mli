@@ -33,6 +33,15 @@ val no_exit_in_lib : Rule.t
     a library bypasses supervision ({!Fn_resilience}) and kills sibling
     domains; only [bin/] chooses exit codes. *)
 
+(** Tier-2 scope-aware rules, re-exported from {!Rules_par} and
+    {!Rules_order} so the registry is the single list. *)
+
+val par_capture_mutation : Rule.t
+val rng_unsplit_in_par : Rule.t
+val par_float_reduce : Rule.t
+val hashtbl_order_dependence : Rule.t
+val dls_outside_obs : Rule.t
+
 val all : Rule.t list
 val find : string -> Rule.t option
 

@@ -1,0 +1,151 @@
+open Rule
+
+let is_ml path = String.ends_with ~suffix:".ml" path
+
+let is_dot (c : Token.t array) i =
+  i >= 0 && i < Array.length c && c.(i).kind = Token.Punct && c.(i).text = "."
+
+let ident_at (c : Token.t array) i =
+  if i >= 0 && i < Array.length c && c.(i).kind = Token.Ident then Some c.(i).text
+  else None
+
+(* A sort anywhere in the same structure-level definition absolves an
+   order-dependent fold: building an unordered list and sorting it
+   before use is the repo's canonical Hashtbl pattern. *)
+let sorted_nearby (c : Token.t array) root at =
+  let scope = Scope.innermost_non_closure root at in
+  let last = min scope.Scope.last (Array.length c) in
+  let rec scan i =
+    if i >= last then false
+    else
+      match ident_at c i with
+      | Some ("sort" | "stable_sort" | "fast_sort" | "sort_uniq") -> true
+      | _ -> scan (i + 1)
+  in
+  scan scope.Scope.first
+
+(* Is the combiner body order-sensitive?
+   - fold: the accumulator is a bound parameter, so mutation tracking
+     cannot see it; any [::]/[@]/[^] or float arithmetic in the body is
+     treated as accumulation.
+   - iter: only *captured* mutations that accumulate ([::] or float
+     ops on the RHS) count — integer counters, [max]-style updates and
+     indexed writes are commutative and deterministic.
+   Appending to a Buffer/Queue/Stack or printing is order-sensitive for
+   both forms. *)
+let body_order_sensitive (c : Token.t array) ~fold (closure : Scope.t) =
+  let first = closure.Scope.first and last = closure.Scope.last in
+  let sink = Analysis.order_sensitive_sink c ~first ~last in
+  if sink <> None then sink
+  else if fold then begin
+    let last = min last (Array.length c) in
+    let rec scan i =
+      if i >= last then None
+      else if Analysis.float_op c i then Some i
+      else
+        match c.(i) with
+        | { Token.kind = Token.Op; text = "::" | "@" | "^"; _ } -> Some i
+        | _ -> scan (i + 1)
+    in
+    scan first
+  end
+  else
+    let bound = Scope.bound_set closure in
+    Analysis.mutations c ~first ~last
+    |> List.find_opt (fun (m : Analysis.mutation) ->
+           m.target <> ""
+           && (not (Hashtbl.mem bound m.target))
+           && (m.float_acc || m.cons_acc))
+    |> Option.map (fun (m : Analysis.mutation) -> m.at)
+
+let hashtbl_order_dependence =
+  let rec rule =
+    {
+      name = "hashtbl-order-dependence";
+      severity = Error;
+      doc = "Hashtbl iteration feeding ordered output must pass through a sort";
+      check =
+        (fun ctx ->
+          let c = ctx.code in
+          if not (is_ml ctx.path) then []
+          else begin
+            let n = Array.length c in
+            let out = ref [] in
+            for i = 0 to n - 3 do
+              match c.(i) with
+              | { Token.kind = Token.Uident; text = "Hashtbl"; _ }
+                when is_dot c (i + 1)
+                     && (match ident_at c (i + 2) with
+                        | Some ("iter" | "fold") -> true
+                        | _ -> false)
+                     && not (is_dot c (i - 1)) -> (
+                let fold = ident_at c (i + 2) = Some "fold" in
+                let root = Lazy.force ctx.scope in
+                let sensitive =
+                  match Analysis.arg_closures c root (i + 2) with
+                  | closure :: _ -> body_order_sensitive c ~fold closure
+                  | [] ->
+                    (* opaque combiner: cannot classify, so require the
+                       sort unconditionally *)
+                    Some i
+                in
+                match sensitive with
+                | Some _ when not (sorted_nearby c root i) ->
+                  out :=
+                    finding rule ctx
+                      ~message:
+                        (Printf.sprintf
+                           "Hashtbl.%s feeds an order-sensitive accumulator, \
+                            but iteration order is unspecified (it varies \
+                            with hash seed and insertion history): collect \
+                            then List.sort before the result reaches output, \
+                            or use a commutative combiner"
+                           (if fold then "fold" else "iter"))
+                      c.(i)
+                    :: !out
+                | _ -> ())
+              | _ -> ()
+            done;
+            List.rev !out
+          end);
+    }
+  in
+  rule
+
+let dls_outside_obs =
+  let rec rule =
+    {
+      name = "dls-outside-obs";
+      severity = Error;
+      doc = "Domain.DLS only in lib/obs; domain-local state evades the determinism contract";
+      check =
+        (fun ctx ->
+          let c = ctx.code in
+          if not (is_ml ctx.path) then []
+          else begin
+            let n = Array.length c in
+            let out = ref [] in
+            for i = 0 to n - 3 do
+              match c.(i) with
+              | { Token.kind = Token.Uident; text = "Domain"; _ }
+                when is_dot c (i + 1)
+                     && (match c.(i + 2) with
+                        | { kind = Token.Uident; text = "DLS"; _ } -> true
+                        | _ -> false)
+                     && not (is_dot c (i - 1)) ->
+                out :=
+                  finding rule ctx
+                    ~message:
+                      "Domain.DLS holds per-domain state that checkpointing \
+                       and the ?domains determinism contract cannot see; keep \
+                       state explicit (pass it through the closure) or extend \
+                       Fn_obs if observability truly needs it"
+                    c.(i)
+                  :: !out
+              | _ -> ()
+            done;
+            List.rev !out
+          end);
+    }
+  in
+  rule

@@ -1,0 +1,160 @@
+(* Scope-aware rules over parallel-region closures.  Shared skeleton:
+   find parallel entry points, resolve their literal closure arguments,
+   then classify what each closure does to bindings it captures. *)
+
+open Rule
+
+let is_ml path = String.ends_with ~suffix:".ml" path
+
+(* Apply [f entry closure bound] to every literal closure passed to a
+   parallel entry point, with the closure's bound-name set. *)
+let over_par_closures ctx f =
+  let c = ctx.code in
+  let root = Lazy.force ctx.scope in
+  List.concat_map
+    (fun (entry : Analysis.entry) ->
+      List.concat_map
+        (fun closure -> f entry closure (Scope.bound_set closure))
+        (Analysis.arg_closures c root entry.at))
+    (Analysis.entries c)
+
+(* Nested entries ([Domain.spawn] inside [Pool] internals) can surface
+   the same mutation twice; keep the first finding per token. *)
+let dedup_by_col findings =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (f : finding) ->
+      let key = (f.line, f.col, f.rule) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    findings
+
+let par_capture_mutation =
+  let rec rule =
+    {
+      name = "par-capture-mutation";
+      severity = Error;
+      doc = "parallel closures must not mutate captured state without Atomic/Mutex";
+      check =
+        (fun ctx ->
+          if not (is_ml ctx.path) then []
+          else
+            over_par_closures ctx (fun entry closure bound ->
+                Analysis.mutations ctx.code ~first:closure.Scope.first
+                  ~last:closure.Scope.last
+                |> List.filter_map (fun (m : Analysis.mutation) ->
+                       if
+                         m.target = ""
+                         || Hashtbl.mem bound m.target
+                         || m.guarded || m.float_acc
+                         || (entry.blessed_indexed && m.indexed)
+                       then None
+                       else
+                         Some
+                           (finding rule ctx
+                              ~message:
+                                (Printf.sprintf
+                                   "closure passed to %s mutates '%s' (via %s) \
+                                    bound outside the parallel region: a data \
+                                    race, and nondeterministic under the \
+                                    ?domains contract; use Atomic, hold a \
+                                    Mutex, or return values and combine after \
+                                    the join"
+                                   entry.path m.target m.desc)
+                              ctx.code.(m.at))))
+            |> dedup_by_col);
+    }
+  in
+  rule
+
+let par_float_reduce =
+  let rec rule =
+    {
+      name = "par-float-reduce";
+      severity = Error;
+      doc = "no in-place float accumulation across domains; reduce after the join";
+      check =
+        (fun ctx ->
+          if not (is_ml ctx.path) then []
+          else
+            over_par_closures ctx (fun entry closure bound ->
+                Analysis.mutations ctx.code ~first:closure.Scope.first
+                  ~last:closure.Scope.last
+                |> List.filter_map (fun (m : Analysis.mutation) ->
+                       if
+                         (not m.float_acc)
+                         || m.target = ""
+                         || Hashtbl.mem bound m.target
+                         || m.guarded
+                         || (entry.blessed_indexed && m.indexed)
+                       then None
+                       else
+                         Some
+                           (finding rule ctx
+                              ~message:
+                                (Printf.sprintf
+                                   "closure passed to %s accumulates floats \
+                                    into captured '%s': float addition is not \
+                                    associative, so the sum depends on domain \
+                                    scheduling; return per-trial floats and \
+                                    reduce after the join in index order \
+                                    (Array.fold_left)"
+                                   entry.path m.target)
+                              ctx.code.(m.at))))
+            |> dedup_by_col);
+    }
+  in
+  rule
+
+(* rng-ish: the name contains "rng" ("rng", "rngs", "trial_rng", ...) *)
+let rngish name =
+  let name = String.lowercase_ascii name in
+  let n = String.length name in
+  let rec scan i =
+    i + 3 <= n && (String.sub name i 3 = "rng" || scan (i + 1))
+  in
+  scan 0
+
+let rng_unsplit_in_par =
+  let is_dot (c : Token.t array) i =
+    i >= 0 && i < Array.length c && c.(i).kind = Token.Punct && c.(i).text = "."
+  in
+  let is_open_paren (c : Token.t array) i =
+    i < Array.length c && c.(i).kind = Token.Punct && c.(i).text = "("
+  in
+  let rec rule =
+    {
+      name = "rng-unsplit-in-par";
+      severity = Error;
+      doc = "parallel closures must use pre-split per-index RNG streams";
+      check =
+        (fun ctx ->
+          let c = ctx.code in
+          if not (is_ml ctx.path) then []
+          else
+            over_par_closures ctx (fun entry closure _bound ->
+                Scope.captures c closure
+                |> List.filter_map (fun (name, at) ->
+                       let indexed_access = is_dot c (at + 1) && is_open_paren c (at + 2) in
+                       if rngish name && not indexed_access then
+                         Some
+                           (finding rule ctx
+                              ~message:
+                                (Printf.sprintf
+                                   "closure passed to %s captures RNG handle \
+                                    '%s': drawing from a shared generator \
+                                    across domains is racy and seed-breaking; \
+                                    pre-split per-index streams with \
+                                    Rng.split_n before the fork (Par.trials \
+                                    does this for you) and index them as \
+                                    rngs.(i)"
+                                   entry.path name)
+                              c.(at))
+                       else None))
+            |> dedup_by_col);
+    }
+  in
+  rule

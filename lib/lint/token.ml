@@ -97,24 +97,6 @@ let scan_quoted_string cu =
   end
   else false
 
-(* Scan a comment; cursor on the '(' of "(*".  Comments nest, and a
-   string literal inside a comment hides any "*)" it contains. *)
-let scan_comment cu =
-  advance_n cu 2;
-  let depth = ref 1 in
-  while !depth > 0 && cu.pos < cu.len do
-    match (cu.src.[cu.pos], peek cu 1) with
-    | '(', Some '*' ->
-        incr depth;
-        advance_n cu 2
-    | '*', Some ')' ->
-        decr depth;
-        advance_n cu 2
-    | '"', _ -> scan_string cu
-    | '{', _ -> if not (scan_quoted_string cu) then advance cu
-    | _ -> advance cu
-  done
-
 (* Try to scan a char literal; cursor on '\''.  Returns false (cursor
    untouched) when the quote is a type-variable quote like 'a in
    ('a list) or the prime in an identifier (handled by ident scan). *)
@@ -140,6 +122,27 @@ let scan_char_literal cu =
       advance_n cu 3;
       true
   | _ -> false
+
+(* Scan a comment; cursor on the '(' of "(*".  Comments nest, and
+   string and char literals inside a comment hide any "*)" or '"' they
+   contain — '"' in particular must not open a string scan, or the
+   tokenizer desyncs on comments like [(* '"' *)]. *)
+let scan_comment cu =
+  advance_n cu 2;
+  let depth = ref 1 in
+  while !depth > 0 && cu.pos < cu.len do
+    match (cu.src.[cu.pos], peek cu 1) with
+    | '(', Some '*' ->
+        incr depth;
+        advance_n cu 2
+    | '*', Some ')' ->
+        decr depth;
+        advance_n cu 2
+    | '"', _ -> scan_string cu
+    | '{', _ -> if not (scan_quoted_string cu) then advance cu
+    | '\'', _ -> if not (scan_char_literal cu) then advance cu
+    | _ -> advance cu
+  done
 
 let tokenize src =
   let cu = { src; len = String.length src; pos = 0; line = 1; bol = 0 } in

@@ -4,7 +4,29 @@
     Monte-Carlo trials, so all we need is a deterministic fork-join
     map.  Determinism matters: results must not depend on how the
     runtime schedules domains, so randomized jobs receive
-    pre-{!Fn_prng.Rng.split} generators indexed by job number. *)
+    pre-{!Fn_prng.Rng.split} generators indexed by job number.
+
+    {2 The [?domains] contract, and how to stay inside it}
+
+    Every entry point here promises: [~domains:1] is byte-identical to
+    the sequential path, and any [domains > 1] yields one fixed result
+    regardless of domain count or scheduling.  That holds only if the
+    forked closure is a pure function of its input — the scope-aware
+    lint tier checks this mechanically.  The blessed patterns:
+
+    - {b State}: return values and combine after the join.  A closure
+      that mutates a captured [ref]/array/[Hashtbl] races and trips
+      [par-capture-mutation]; closure-local state, [Atomic], and
+      Mutex-held sections are recognized as safe, as are disjoint
+      per-worker slot writes under {!Pool.run} ([slots.(w) <- ...]).
+    - {b Randomness}: never draw from a captured generator (that trips
+      [rng-unsplit-in-par]).  Pre-split one stream per index with
+      {!Fn_prng.Rng.split_n} before the fork and use [rngs.(i)] — or
+      let {!trials} do exactly that for you.
+    - {b Float reduction}: float [+.] is non-associative, so
+      accumulating across domains makes the sum schedule-dependent
+      ([par-float-reduce]).  {!map} to per-trial floats, then reduce
+      sequentially: [Array.fold_left ( +. ) 0.0 parts]. *)
 
 val default_domains : unit -> int
 (** Number of domains to use by default: the runtime's recommended

@@ -31,7 +31,19 @@ val split : t -> t
     on the state of [t] at the time of the call. *)
 
 val split_n : t -> int -> t array
-(** [split_n t k] returns [k] pairwise-independent children. *)
+(** [split_n t k] returns [k] pairwise-independent children.
+
+    This is the pre-split pattern the [rng-unsplit-in-par] lint rule
+    steers parallel code toward: split {e before} the fork, index the
+    children inside it —
+    {[
+      let rngs = Rng.split_n rng n in
+      Par.init n (fun i -> trial rngs.(i))
+    ]}
+    Each index then owns a private stream, so the result is the same
+    for every domain count and schedule.  Drawing from a single shared
+    [t] across domains would race on its state {e and} make results
+    interleaving-dependent. *)
 
 val bits64 : t -> int64
 (** Next raw 64-bit value. *)

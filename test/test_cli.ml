@@ -74,6 +74,98 @@ let test_unknown_experiment_fails () =
      let rec scan i = i + nl <= sl && (String.sub out i nl = needle || scan (i + 1)) in
      scan 0)
 
+(* ------------------------------------------------------------------ *)
+(* lint binary: --only / --explain                                     *)
+(* ------------------------------------------------------------------ *)
+
+let lint_binary =
+  let candidates =
+    [
+      Filename.concat (Filename.concat ".." "bin") "lint.exe";
+      List.fold_left Filename.concat "_build" [ "default"; "bin"; "lint.exe" ];
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let run_lint args =
+  let out = Filename.temp_file "fn_lint_cli" ".out" in
+  let cmd = Printf.sprintf "%s %s > %s 2>&1" lint_binary args out in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let text =
+    Fun.protect
+      ~finally:(fun () ->
+        close_in ic;
+        Sys.remove out)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (code, String.trim text)
+
+let contains hay needle =
+  let nl = String.length needle and sl = String.length hay in
+  let rec scan i = i + nl <= sl && (String.sub hay i nl = needle || scan (i + 1)) in
+  scan 0
+
+(* A scratch tree holding one file that violates two scope-aware rules:
+   the closure handed to Par.map mutates a captured ref and draws from a
+   shared rng. *)
+let with_bad_tree f =
+  let dir = Filename.temp_file "fn_lint_tree" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let file = Filename.concat dir "sample.ml" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists file then Sys.remove file;
+      if Sys.file_exists dir then Sys.rmdir dir)
+    (fun () ->
+      let oc = open_out file in
+      output_string oc
+        "let f rng xs =\n\
+        \  let hits = ref 0 in\n\
+        \  Par.map (fun x -> hits := !hits + Fn_prng.Rng.int rng x) xs\n";
+      close_out oc;
+      f dir)
+
+let test_lint_only () =
+  with_bad_tree (fun dir ->
+      let code, out = run_lint (Printf.sprintf "--root %s sample.ml" dir) in
+      check_int "all rules: findings exit 1" 1 code;
+      check_bool "all rules: capture finding" true
+        (contains out "par-capture-mutation");
+      check_bool "all rules: rng finding" true (contains out "rng-unsplit-in-par");
+      let code, out =
+        run_lint
+          (Printf.sprintf "--root %s --only rng-unsplit-in-par sample.ml" dir)
+      in
+      check_int "--only: findings exit 1" 1 code;
+      check_bool "--only: rng finding kept" true
+        (contains out "rng-unsplit-in-par");
+      check_bool "--only: capture finding filtered" false
+        (contains out "par-capture-mutation");
+      let code, out =
+        run_lint
+          (Printf.sprintf "--root %s --only dls-outside-obs sample.ml" dir)
+      in
+      check_int "--only non-matching rule: clean exit" 0 code;
+      check_bool "--only non-matching rule: no output" true (out = ""))
+
+let test_lint_explain () =
+  let code, out = run_lint "--explain par-capture-mutation" in
+  check_int "explain exit" 0 code;
+  check_bool "explain names the rule" true (contains out "par-capture-mutation");
+  check_bool "explain shows severity" true (contains out "error");
+  check_bool "explain shows suppression template" true (contains out "lint: allow")
+
+let test_lint_unknown_rule () =
+  let code, out = run_lint "--only no-such-rule" in
+  check_int "unknown rule exit" 2 code;
+  check_bool "unknown rule message" true (contains out "unknown rule");
+  let code, _ = run_lint "--explain no-such-rule" in
+  check_int "unknown rule via --explain" 2 code
+
 let test_determinism_across_runs () =
   let _, a = run_cli "report -t torus:8x8 --fault-p 0.1 --seed 5" in
   let _, b = run_cli "report -t torus:8x8 --fault-p 0.1 --seed 5" in
@@ -96,5 +188,11 @@ let () =
           case "file roundtrip" test_file_roundtrip;
           case "unknown experiment" test_unknown_experiment_fails;
           case "determinism" test_determinism_across_runs;
+        ] );
+      ( "lint",
+        [
+          case "--only filters rules" test_lint_only;
+          case "--explain describes a rule" test_lint_explain;
+          case "unknown rule exits 2" test_lint_unknown_rule;
         ] );
     ]

@@ -66,6 +66,25 @@ let test_tok_escaped_char () =
   in
   check_bool "escaped quote char" true (chars = [ {|'\''|}; {|'\n'|}; {|'\123'|} ])
 
+let test_tok_char_in_comment () =
+  (* '"' inside a comment must not open a string scan — the tokenizer
+     would swallow the rest of the file *)
+  (match kinds {|(* '"' *) x|} with
+  | [ Token.Comment; Token.Ident ] -> ()
+  | _ -> Alcotest.fail {|char literal '"' inside comment desynced tokenizer|});
+  (* an apostrophe that is not a char literal stays harmless *)
+  (match kinds "(* don't *) y" with
+  | [ Token.Comment; Token.Ident ] -> ()
+  | _ -> Alcotest.fail "apostrophe in comment mis-lexed");
+  match kinds {|(* '\n' and '*' *) z|} with
+  | [ Token.Comment; Token.Ident ] -> ()
+  | _ -> Alcotest.fail "escaped char in comment mis-lexed"
+
+let test_tok_deeply_nested_comment () =
+  match kinds "(* a (* b (* c *) b *) a *) w (* (* '\"' *) ok *) v" with
+  | [ Token.Comment; Token.Ident; Token.Comment; Token.Ident ] -> ()
+  | _ -> Alcotest.fail "deeply nested comments mis-lexed"
+
 let test_tok_line_numbers () =
   let toks = Token.tokenize "let a = 1\n\nlet b = 2" in
   let b = toks.(5) in
@@ -213,6 +232,183 @@ let test_no_todo_naked () =
   | _ -> Alcotest.fail "expected one finding")
 
 (* ------------------------------------------------------------------ *)
+(* Scope model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let scope_of src = Scope.build (Token.code (Token.tokenize src))
+
+let first_closure root =
+  let found = ref None in
+  let rec go (s : Scope.t) =
+    if !found = None then begin
+      if s.kind = Scope.Closure then found := Some s
+      else List.iter go s.children
+    end
+  in
+  go root;
+  match !found with Some s -> s | None -> Alcotest.fail "no closure found"
+
+let test_scope_closure_binds () =
+  let root = scope_of "let f xs = List.map (fun x -> x + offset) xs" in
+  let c = first_closure root in
+  let bound = Scope.bound_set c in
+  check_bool "param bound" true (Hashtbl.mem bound "x");
+  check_bool "capture not bound" false (Hashtbl.mem bound "offset")
+
+let test_scope_captures () =
+  let src = "let f total =\n  List.map (fun i ->\n    let local = i * 2 in\n    local + total + i) xs" in
+  let c = first_closure (scope_of src) in
+  let caps = List.map fst (Scope.captures (Token.code (Token.tokenize src)) c) in
+  check_bool "total captured" true (List.mem "total" caps);
+  check_bool "local not captured" false (List.mem "local" caps);
+  check_bool "param not captured" false (List.mem "i" caps)
+
+let test_scope_match_pattern_binds () =
+  let src = "let f v = iter (fun x -> match x with Some y -> y + v | None -> 0) v" in
+  let c = first_closure (scope_of src) in
+  let bound = Scope.bound_set c in
+  check_bool "pattern var bound" true (Hashtbl.mem bound "y");
+  check_bool "outer capture visible" false (Hashtbl.mem bound "v")
+
+let test_scope_innermost_binding () =
+  (* the enclosing structure-level binding spans past nested closures,
+     so a sort later in the same definition is inside its range *)
+  let src =
+    "let collect tbl =\n\
+    \  let out = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in\n\
+    \  List.sort compare out\n\n\
+     let other = 1" in
+  let code = Token.code (Token.tokenize src) in
+  let root = Scope.build code in
+  (* find the Hashtbl token index *)
+  let at = ref (-1) in
+  Array.iteri
+    (fun i (t : Token.t) -> if !at < 0 && t.text = "Hashtbl" then at := i)
+    code;
+  let s = Scope.innermost_non_closure root !at in
+  (match s.Scope.kind with
+  | Scope.Binding name -> check_string "binding name" "collect" name
+  | _ -> Alcotest.fail "expected a Binding scope");
+  (* the next structure item is outside the binding *)
+  let other = ref (-1) in
+  Array.iteri
+    (fun i (t : Token.t) -> if !other < 0 && t.text = "other" then other := i)
+    code;
+  check_bool "next item outside" false (Scope.contains s !other)
+
+(* ------------------------------------------------------------------ *)
+(* Scope-aware rules                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_par_capture_mutation () =
+  let hit src = List.mem "par-capture-mutation" (rules_hit (lint src)) in
+  (* the acceptance-criteria seeded mutation: reintroduce the captured
+     ref accumulator PR 5 removed from Estimate.run's Par.map closure *)
+  check_bool "seeded Estimate.run regression" true
+    (hit
+       "let run ?alive g ~domains scores objective =\n\
+       \  let acc = ref [] in\n\
+       \  let sweeps =\n\
+       \    Fn_parallel.Par.map ~obs ~domains\n\
+       \      (fun score -> acc := Sweep.best_prefix ?alive g ~score objective :: !acc)\n\
+       \      scores\n\
+       \  in\n\
+       \  ignore sweeps;\n\
+       \  !acc");
+  check_bool "captured ref int incr" true
+    (hit "let f n = let c = ref 0 in Par.map (fun _ -> incr c) (idx n)");
+  check_bool "captured hashtbl write" true
+    (hit "let f tbl xs = Par.map (fun x -> Hashtbl.replace tbl x ()) xs");
+  check_bool "field set" true
+    (hit "let f t xs = Par.map (fun x -> t.count <- t.count + x) xs");
+  check_bool "Domain.spawn closure" true
+    (hit "let f c = Domain.spawn (fun () -> c := 1)");
+  (* negatives *)
+  check_bool "local ref ok" false
+    (hit "let f xs = Par.map (fun x -> let c = ref 0 in c := x; !c) xs");
+  check_bool "Atomic ok" false
+    (hit "let f a xs = Par.map (fun x -> Atomic.incr a; x) xs");
+  check_bool "mutex-guarded ok" false
+    (hit
+       "let f m c xs = Par.map (fun x -> Mutex.lock m; c := x; Mutex.unlock m) xs");
+  check_bool "Pool.run disjoint slots ok" false
+    (hit
+       "let f pool slots = Par.Pool.run pool (fun w -> slots.(w) <- compute w)");
+  check_bool "Par.map indexed write still flagged" true
+    (hit "let f out xs = Par.map (fun i -> out.(i) <- i * 2) xs");
+  check_bool "sequential closure ok" false
+    (hit "let f c xs = List.iter (fun x -> c := x) xs")
+
+let test_rng_unsplit_in_par () =
+  let hit src = List.mem "rng-unsplit-in-par" (rules_hit (lint src)) in
+  check_bool "captured rng" true
+    (hit "let f ~rng xs = Par.map (fun x -> Fn_prng.Rng.int rng x) xs");
+  check_bool "named trial_rng" true
+    (hit "let f trial_rng n = Par.init n (fun i -> draw trial_rng i)");
+  (* negatives: the blessed patterns *)
+  check_bool "pre-split param ok" false
+    (hit "let f ~rng n = Par.trials ~rng n (fun r -> Fn_prng.Rng.int r 10)");
+  check_bool "indexed pre-split array ok" false
+    (hit
+       "let f ~rng n =\n\
+       \  let rngs = Fn_prng.Rng.split_n rng n in\n\
+       \  Par.init n (fun i -> Fn_prng.Rng.int rngs.(i) 10)");
+  check_bool "label-only passthrough not in closure ok" false
+    (hit "let f ~rng n job = Supervisor.trials ~rng n job")
+
+let test_par_float_reduce () =
+  let hit src = List.mem "par-float-reduce" (rules_hit (lint src)) in
+  check_bool "captured float sum" true
+    (hit "let f xs = let s = ref 0.0 in Par.map (fun x -> s := !s +. x) xs");
+  check_bool "float product via field" true
+    (hit "let f t xs = Par.map (fun x -> t.prod <- t.prod *. x) xs");
+  (* negatives *)
+  check_bool "reduce after join ok" false
+    (hit
+       "let f xs =\n\
+       \  let parts = Par.map (fun x -> weight x) xs in\n\
+       \  Array.fold_left ( +. ) 0.0 parts");
+  check_bool "local float acc ok" false
+    (hit "let f xs = Par.map (fun x -> let s = ref 0.0 in s := !s +. x; !s) xs");
+  check_bool "int accumulation is capture rule's job" false
+    (hit "let f c xs = Par.map (fun x -> c := !c + x) xs")
+
+let test_hashtbl_order_dependence () =
+  let hit src = List.mem "hashtbl-order-dependence" (rules_hit (lint src)) in
+  check_bool "fold cons no sort" true
+    (hit "let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []");
+  check_bool "fold float sum" true
+    (hit "let total tbl = Hashtbl.fold (fun _ v acc -> acc +. v) tbl 0.0");
+  check_bool "iter into buffer" true
+    (hit "let dump tbl buf = Hashtbl.iter (fun k _ -> Buffer.add_string buf k) tbl");
+  check_bool "iter cons accumulation" true
+    (hit "let keys tbl = let out = ref [] in Hashtbl.iter (fun k _ -> out := k :: !out) tbl; !out");
+  (* negatives *)
+  check_bool "fold cons then sort ok" false
+    (hit
+       "let keys tbl =\n\
+       \  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare");
+  check_bool "commutative max ok" false
+    (hit "let peak tbl = Hashtbl.fold (fun _ v acc -> max acc v) tbl 0");
+  check_bool "int counter iter ok" false
+    (hit "let n tbl = let c = ref 0 in Hashtbl.iter (fun _ _ -> incr c) tbl; !c");
+  check_bool "iter indexed writes ok" false
+    (hit "let fill tbl out = Hashtbl.iter (fun k v -> out.(k) <- v) tbl")
+
+let test_dls_outside_obs () =
+  let hit ?path src = List.mem "dls-outside-obs" (rules_hit (lint ?path src)) in
+  check_bool "DLS new_key in lib" true
+    (hit "let key = Domain.DLS.new_key (fun () -> [])");
+  check_bool "DLS get in bin" true
+    (hit ~path:"bin/tool.ml" "let v = Domain.DLS.get key");
+  (* negatives *)
+  check_bool "lib/obs allowlisted" false
+    (hit ~path:"lib/obs/span.ml" "let key = Domain.DLS.new_key (fun () -> [])");
+  check_bool "other Domain functions ok" false
+    (hit "let d = Domain.spawn (fun () -> 1) let n = Domain.recommended_domain_count ()");
+  check_bool "comment mention ok" false (hit "(* Domain.DLS is banned *) let x = 1")
+
+(* ------------------------------------------------------------------ *)
 (* Suppression                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -319,7 +515,24 @@ let () =
           Alcotest.test_case "quoted string" `Quick test_tok_quoted_string;
           Alcotest.test_case "char vs tyvar" `Quick test_tok_char_vs_tyvar;
           Alcotest.test_case "escaped char" `Quick test_tok_escaped_char;
+          Alcotest.test_case "char in comment" `Quick test_tok_char_in_comment;
+          Alcotest.test_case "deeply nested comment" `Quick test_tok_deeply_nested_comment;
           Alcotest.test_case "line numbers" `Quick test_tok_line_numbers;
+        ] );
+      ( "scope",
+        [
+          Alcotest.test_case "closure binds" `Quick test_scope_closure_binds;
+          Alcotest.test_case "captures" `Quick test_scope_captures;
+          Alcotest.test_case "match pattern binds" `Quick test_scope_match_pattern_binds;
+          Alcotest.test_case "innermost binding" `Quick test_scope_innermost_binding;
+        ] );
+      ( "scope-rules",
+        [
+          Alcotest.test_case "par-capture-mutation" `Quick test_par_capture_mutation;
+          Alcotest.test_case "rng-unsplit-in-par" `Quick test_rng_unsplit_in_par;
+          Alcotest.test_case "par-float-reduce" `Quick test_par_float_reduce;
+          Alcotest.test_case "hashtbl-order-dependence" `Quick test_hashtbl_order_dependence;
+          Alcotest.test_case "dls-outside-obs" `Quick test_dls_outside_obs;
         ] );
       ( "rules",
         [

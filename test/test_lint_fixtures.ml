@@ -1,0 +1,82 @@
+(* Seeded-violation fixture corpus for the lint engine.
+
+   Each file under fixtures/lint/*.fixture is an OCaml source (the
+   extension keeps dune and bin/lint from treating it as a module)
+   carrying inline directives:
+
+     (* @path lib/obs/thing.ml *)        override the lint path
+     (* @expect RULE LINE COL *)         one expected finding
+
+   The engine's finding set for the file must equal the @expect set
+   exactly — both a missed finding and a new false positive fail.
+   Rule positions are pinned on purpose: they are the regression
+   surface for the scope/analysis layer. *)
+
+open Fn_lint
+
+let fixture_dir = Filename.concat "fixtures" "lint"
+
+let read_lines path =
+  let src = Engine.read_file path in
+  String.split_on_char '\n' src
+
+let words line =
+  String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+
+(* directives, scanned line by line so @expect can cite line numbers *)
+let parse_directives lines =
+  let path = ref None and expects = ref [] in
+  List.iter
+    (fun line ->
+      let rec scan = function
+        | "@path" :: p :: _ -> path := Some p
+        | "@expect" :: rule :: l :: c :: _ ->
+          expects := (rule, int_of_string l, int_of_string c) :: !expects
+        | _ :: rest -> scan rest
+        | [] -> ()
+      in
+      scan (words line))
+    lines;
+  (!path, List.rev !expects)
+
+let show (rule, line, col) = Printf.sprintf "%s@%d:%d" rule line col
+
+let compare_key (r1, l1, c1) (r2, l2, c2) =
+  match Int.compare l1 l2 with
+  | 0 -> ( match Int.compare c1 c2 with 0 -> String.compare r1 r2 | c -> c)
+  | c -> c
+
+let check_fixture file () =
+  let full = Filename.concat fixture_dir file in
+  let lines = read_lines full in
+  let path_override, expects = parse_directives lines in
+  let path =
+    match path_override with
+    | Some p -> p
+    | None -> "lib/fixture/" ^ Filename.remove_extension file ^ ".ml"
+  in
+  let got =
+    Engine.lint_string ~path (Engine.read_file full)
+    |> List.map (fun (f : Rule.finding) -> (f.rule, f.line, f.col))
+    |> List.sort compare_key
+  in
+  let expects = List.sort compare_key expects in
+  if got <> expects then
+    Alcotest.fail
+      (Printf.sprintf "%s:\n  expected: [%s]\n  got:      [%s]" file
+         (String.concat "; " (List.map show expects))
+         (String.concat "; " (List.map show got)))
+
+let () =
+  let files =
+    Sys.readdir fixture_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".fixture")
+    |> List.sort String.compare
+  in
+  if files = [] then failwith "no lint fixtures found";
+  Alcotest.run "lint-fixtures"
+    [
+      ( "corpus",
+        List.map (fun f -> Alcotest.test_case f `Quick (check_fixture f)) files
+      );
+    ]

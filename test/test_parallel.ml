@@ -127,6 +127,8 @@ let test_pool_size_one_inline () =
   Par.Pool.with_pool ~domains:1 (fun pool ->
       check_int "size" 1 (Par.Pool.size pool);
       let ran = ref (-1) in
+      (* lint: allow par-capture-mutation — size-1 pool runs the job inline
+         on the calling domain, so the captured ref is not shared *)
       Par.Pool.run pool (fun w -> ran := w);
       check_int "worker 0 inline" 0 !ran)
 
@@ -150,6 +152,8 @@ let test_pool_shutdown_idempotent () =
   Par.Pool.shutdown pool;
   (* post-shutdown runs execute only worker 0 inline, per contract *)
   let visited = ref [] in
+  (* lint: allow par-capture-mutation — after shutdown only worker 0 runs,
+     inline on the calling domain; that single-threadedness is the point *)
   Par.Pool.run pool (fun w -> visited := w :: !visited);
   check_bool "only worker 0" true (!visited = [ 0 ])
 
