@@ -6,6 +6,7 @@
 let experiments = "experiments"
 let substrate = "kernels"
 let ablations = "ablations"
+let scale = "scale"
 
 let rng0 = Fn_prng.Rng.create 0xBEC4
 let fresh () = Fn_prng.Rng.copy rng0
@@ -258,6 +259,51 @@ let () =
         (fun acc (path, mli_exists, src) ->
           acc + List.length (Fn_lint.Engine.lint_string ?mli_exists ~path src))
         0 (Lazy.force lint_sources))
+
+(* ---- scale: the implicit 10^7-node path ---- *)
+
+(* a 2000 x 5000 implicit torus: exactly 10^7 nodes, max degree 4, no
+   edge ever materialized — forcing the lazy costs a closure, nothing
+   else.  These kernels pin the large-n path the materializing
+   constructors cannot reach (their CSR alone would be ~320 MB). *)
+let torus1e7 = lazy (Fn_topology.Implicit.torus [| 2000; 5000 |])
+
+(* resumable ball growth doubling up to 2^20 nodes: the Estimate
+   sampling pattern at n = 10^7.  Timed work includes the grower's
+   O(n) state allocation — that is the real per-query cost. *)
+let () =
+  reg ~suite:scale ~items:(1 lsl 20) "bfs_ball_growth_torus1e7" (dep torus1e7) (fun () ->
+      let view = Lazy.force torus1e7 in
+      let t = Fn_graph.Bfs.ball_grower_v view ((1000 * 5000) + 2500) in
+      let k = ref 2 in
+      let last = ref (Fn_graph.Bitset.create 1) in
+      while !k <= 1 lsl 20 do
+        last := Fn_graph.Bfs.grow_ball t !k;
+        k := !k * 2
+      done;
+      !last)
+
+(* one Prune round end to end on the implicit torus: finder ball,
+   scratch node-boundary certificate, cull accounting.  The degree
+   bound feeding epsilon is O(1) view metadata, not a 10^7-offset
+   scan. *)
+let () =
+  reg ~suite:scale ~items:4096 "prune_round_torus1e7" (dep torus1e7) (fun () ->
+      let view = Lazy.force torus1e7 in
+      let n = Fn_graph.Gview.num_nodes view in
+      let alive = Fn_graph.Bitset.create_full n in
+      let delta = Fn_graph.Gview.max_degree view in
+      let epsilon = 1.0 /. (2.0 *. float_of_int delta) in
+      let rounds = ref 0 in
+      let finder ~alive view ~threshold =
+        ignore threshold;
+        if !rounds > 0 then None
+        else begin
+          incr rounds;
+          Some (Fn_graph.Bfs.ball_of_size_v ~alive view 0 4096)
+        end
+      in
+      Faultnet.Prune.run_v ~finder view ~alive ~alpha:2.0 ~epsilon)
 
 (* ---- ablations ---- *)
 

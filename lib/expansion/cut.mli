@@ -24,4 +24,9 @@ val better : t -> t -> t
 
 val value_of : ?alive:Bitset.t -> Graph.t -> objective -> Bitset.t -> float
 
+val make_v : ?alive:Bitset.t -> Gview.t -> objective -> Bitset.t -> t
+(** {!make} on either {!Gview.t} representation. *)
+
+val value_of_v : ?alive:Bitset.t -> Gview.t -> objective -> Bitset.t -> float
+
 val pp : Format.formatter -> t -> unit

@@ -15,10 +15,22 @@ type t = {
    algorithm at [domains = 1], one fixed parallel algorithm above. *)
 let max_refine_starts = 4
 
-let alive_nodes ?alive g =
+(* Sampling metadata comes from the view, not from an O(n) pass: with
+   no alive mask the pool is all of [0, n) and a source is drawn as
+   [Rng.int rng total] directly — same rng stream as indexing the old
+   identity array, without allocating or scanning n cells (on a
+   10^7-node implicit torus that pass would dwarf the sampling). *)
+let sample_pool ?alive view =
   match alive with
-  | Some m -> Bitset.to_array m
-  | None -> Array.init (Graph.num_nodes g) Fun.id
+  | Some m ->
+    let nodes = Bitset.to_array m in
+    (Array.length nodes, Some nodes)
+  | None -> (Gview.num_nodes view, None)
+
+let pick_source pool rng total =
+  match pool with
+  | Some nodes -> nodes.(Rng.int rng total)
+  | None -> Rng.int rng total
 
 let disconnected_witness ?alive g =
   let comps = Components.compute ?alive g in
@@ -35,8 +47,8 @@ let disconnected_witness ?alive g =
 (* Candidate balls around one source for geometrically doubled size
    targets, largest first.  One resumable traversal serves the whole
    schedule (Bfs.grow_ball) instead of a fresh BFS per size. *)
-let balls_from ?alive g ~total ~half src =
-  let grower = Bfs.ball_grower ?alive g src in
+let balls_from ?alive view ~total ~half src =
+  let grower = Bfs.ball_grower_v ?alive view src in
   let out = ref [] in
   let size = ref 2 in
   while !size <= half do
@@ -47,15 +59,14 @@ let balls_from ?alive g ~total ~half src =
   done;
   !out
 
-let ball_candidates ?alive g rng samples =
-  let nodes = alive_nodes ?alive g in
-  let total = Array.length nodes in
+let ball_candidates ?alive view rng samples =
+  let total, pool = sample_pool ?alive view in
   let out = ref [] in
   if total >= 2 then begin
     let half = total / 2 in
     for _ = 1 to samples do
-      let src = nodes.(Rng.int rng total) in
-      out := balls_from ?alive g ~total ~half src @ !out
+      let src = pick_source pool rng total in
+      out := balls_from ?alive view ~total ~half src @ !out
     done
   end;
   !out
@@ -64,24 +75,59 @@ let ball_candidates ?alive g rng samples =
    (sequential split, Par.trials) and grows its balls on a worker
    domain; the merge folds per-sample lists in index order, so the
    result is deterministic and independent of the domain count. *)
-let ball_candidates_par ?obs ?alive g rng samples ~domains =
-  let nodes = alive_nodes ?alive g in
-  let total = Array.length nodes in
+let ball_candidates_par ?obs ?alive view rng samples ~domains =
+  let total, pool = sample_pool ?alive view in
   if total < 2 then []
   else begin
     let half = total / 2 in
     let per =
       Fn_parallel.Par.trials ?obs ~domains ~rng samples (fun r ->
-          balls_from ?alive g ~total ~half nodes.(Rng.int r total))
+          balls_from ?alive view ~total ~half (pick_source pool r total))
     in
     Array.fold_left (fun acc balls -> balls @ acc) [] per
+  end
+
+(* View-facing slice of the portfolio: BFS-ball candidates evaluated
+   through one generation-stamped scratch.  The spectral sweep and
+   local search stay CSR-only, so this is what large implicit
+   topologies (and their Prune finders) use; the node count and degree
+   bound both come from O(1) view metadata. *)
+let ball_witness_v ?alive ?rng ?(samples = 8) view objective =
+  let rng = match rng with Some r -> r | None -> Rng.create 0xFA17 in
+  let total, pool = sample_pool ?alive view in
+  if total < 2 then None
+  else begin
+    let scratch = Boundary.Scratch.create (Gview.num_nodes view) in
+    let half = total / 2 in
+    let best = ref None in
+    for _ = 1 to samples do
+      let src = pick_source pool rng total in
+      List.iter
+        (fun set ->
+          (* balls_from guarantees 1 <= |set| <= total/2 within alive *)
+          let size = Bitset.cardinal set in
+          let value =
+            match objective with
+            | Cut.Node ->
+              float_of_int (Boundary.Scratch.node_boundary_size_v scratch ?alive view set)
+              /. float_of_int size
+            | Cut.Edge ->
+              float_of_int (Boundary.Scratch.edge_boundary_size_v scratch ?alive view set)
+              /. float_of_int (min size (total - size))
+          in
+          let cut = { Cut.set; value; objective } in
+          best := Some (match !best with Some b -> Cut.better b cut | None -> cut))
+        (balls_from ?alive view ~total ~half src)
+    done;
+    !best
   end
 
 let run ?(obs = Fn_obs.Sink.null) ?alive ?rng ?(domains = 1) ?(samples = 8)
     ?(local_search_passes = 4) ?(force_heuristic = false) g objective =
   let rng = match rng with Some r -> r | None -> Rng.create 0xFA17 in
-  let nodes = alive_nodes ?alive g in
-  let total = Array.length nodes in
+  let total =
+    match alive with Some m -> Bitset.cardinal m | None -> Graph.num_nodes g
+  in
   if total < 2 then invalid_arg "Estimate.run: need at least 2 alive nodes";
   let on = Fn_obs.Sink.enabled obs in
   let sp =
@@ -131,8 +177,9 @@ let run ?(obs = Fn_obs.Sink.null) ?alive ?rng ?(domains = 1) ?(samples = 8)
       in
       let sweep = Array.fold_left Cut.better sweeps.(0) sweeps in
       let balls =
-        if domains <= 1 then ball_candidates ?alive g rng samples
-        else ball_candidates_par ~obs ?alive g rng samples ~domains
+        let view = Gview.Csr g in
+        if domains <= 1 then ball_candidates ?alive view rng samples
+        else ball_candidates_par ~obs ?alive view rng samples ~domains
       in
       let candidates =
         (* pure evaluation: the parallel map matches the sequential

@@ -51,6 +51,23 @@ val run :
     refinement hill-climbs several starts — a deterministic variant
     whose output depends only on [domains > 1], not on the count. *)
 
+val ball_witness_v :
+  ?alive:Bitset.t ->
+  ?rng:Rng.t ->
+  ?samples:int ->
+  Gview.t ->
+  Cut.objective ->
+  Cut.t option
+(** The BFS-ball slice of the portfolio on either {!Gview.t} arm: grow
+    geometrically doubled balls around sampled sources and return the
+    best cut witnessed, or [None] when no candidate exists (fewer than
+    2 alive nodes, or every ball overshoots half the pool).  This is
+    the finder large implicit topologies use — the node count and the
+    degree bound come from O(1) view metadata, no O(n) pass, no edge
+    materialization; the spectral sweep and local search remain
+    CSR-only.  Sequential and byte-reproducible for a fixed [rng]
+    (default seed 0xFA17, [samples] 8). *)
+
 val node :
   ?obs:Fn_obs.Sink.t -> ?alive:Bitset.t -> ?rng:Rng.t -> ?domains:int -> Graph.t -> t
 

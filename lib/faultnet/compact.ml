@@ -1,8 +1,14 @@
 open Fn_graph
 open Fn_prng
 
-let restrict ?alive g u =
-  ignore g;
+(* The compactification core runs on [Gview.t]; the [Graph.t] entry
+   points below wrap the CSR arm.  Everything it needs — reachability,
+   components, edge-boundary counts — already has a view form, so
+   Prune2's round loop can cull compact sets on implicit topologies
+   without materializing them. *)
+
+let restrict_v ?alive view u =
+  ignore view;
   match alive with
   | None -> Bitset.copy u
   | Some m ->
@@ -10,51 +16,56 @@ let restrict ?alive g u =
     Bitset.inter_into out m;
     out
 
-let complement_within ?alive g u =
-  let n = Graph.num_nodes g in
+let complement_within_v ?alive view u =
+  let n = Gview.num_nodes view in
   let out = match alive with None -> Bitset.create_full n | Some m -> Bitset.copy m in
   Bitset.diff_into out u;
   out
 
-let is_compact ?alive g u =
-  let inside = restrict ?alive g u in
-  let outside = complement_within ?alive g u in
+let complement_within ?alive g u = complement_within_v ?alive (Gview.Csr g) u
+
+let is_compact_v ?alive view u =
+  let inside = restrict_v ?alive view u in
+  let outside = complement_within_v ?alive view u in
   (not (Bitset.is_empty inside))
   && (not (Bitset.is_empty outside))
-  && Dfs.is_connected_subset g inside
-  && Dfs.is_connected_subset g outside
+  && Dfs.is_connected_subset_v view inside
+  && Dfs.is_connected_subset_v view outside
 
-let edge_ratio ?alive g x =
-  float_of_int (Boundary.edge_boundary_size ?alive g x) /. float_of_int (Bitset.cardinal x)
+let is_compact ?alive g u = is_compact_v ?alive (Gview.Csr g) u
 
-let compactify ?alive g s =
-  let s = restrict ?alive g s in
+let edge_ratio_v ?alive view x =
+  float_of_int (Boundary.edge_boundary_size_v ?alive view x) /. float_of_int (Bitset.cardinal x)
+
+let compactify_v ?alive view s =
+  let s = restrict_v ?alive view s in
   if Bitset.is_empty s then invalid_arg "Compact.compactify: empty set";
-  if not (Dfs.is_connected_subset g s) then invalid_arg "Compact.compactify: S not connected";
-  let outside = complement_within ?alive g s in
+  if not (Dfs.is_connected_subset_v view s) then
+    invalid_arg "Compact.compactify: S not connected";
+  let outside = complement_within_v ?alive view s in
   if Bitset.is_empty outside then invalid_arg "Compact.compactify: S is everything";
-  if Dfs.is_connected_subset g outside then s
+  if Dfs.is_connected_subset_v view outside then s
   else begin
     let total =
-      match alive with None -> Graph.num_nodes g | Some m -> Bitset.cardinal m
+      match alive with None -> Gview.num_nodes view | Some m -> Bitset.cardinal m
     in
-    let comps = Components.compute ~alive:outside g in
+    let comps = Components.compute_v ~alive:outside view in
     (* Case 1: a complement component holds at least half the nodes *)
     let big = ref (-1) in
     for id = 0 to comps.Components.count - 1 do
       if 2 * comps.Components.sizes.(id) >= total then big := id
     done;
     if !big >= 0 then begin
-      let k = complement_within ?alive g (Components.members comps !big) in
+      let k = complement_within_v ?alive view (Components.members comps !big) in
       k
     end
     else begin
       (* Case 2: some component has edge expansion <= S's *)
-      let s_ratio = edge_ratio ?alive g s in
+      let s_ratio = edge_ratio_v ?alive view s in
       let best = ref None in
       for id = 0 to comps.Components.count - 1 do
         let c = Components.members comps id in
-        let r = edge_ratio ?alive g c in
+        let r = edge_ratio_v ?alive view c in
         match !best with
         | Some (_, br) when br <= r -> ()
         | _ -> best := Some (c, r)
@@ -67,6 +78,8 @@ let compactify ?alive g s =
         s
     end
   end
+
+let compactify ?alive g s = compactify_v ?alive (Gview.Csr g) s
 
 let enumerate g =
   let n = Graph.num_nodes g in

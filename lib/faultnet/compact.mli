@@ -18,6 +18,13 @@ val compactify : ?alive:Bitset.t -> Graph.t -> Bitset.t -> Bitset.t
     [Invalid_argument] if S is not connected or not a proper
     subset. *)
 
+val is_compact_v : ?alive:Bitset.t -> Gview.t -> Bitset.t -> bool
+(** {!is_compact} on either {!Gview.t} representation. *)
+
+val compactify_v : ?alive:Bitset.t -> Gview.t -> Bitset.t -> Bitset.t
+(** {!compactify} on either representation — Prune2's round loop uses
+    this to cull compact sets from implicit topologies. *)
+
 val enumerate : Graph.t -> Bitset.t list
 (** All compact sets of a connected graph with at most 20 nodes,
     by exhaustive subset enumeration.  Each compact pair {U, V\U}

@@ -14,6 +14,10 @@ open Fn_prng
 
 type t = alive:Bitset.t -> Graph.t -> threshold:float -> Bitset.t option
 
+type t_v = alive:Bitset.t -> Gview.t -> threshold:float -> Bitset.t option
+(** A finder over either {!Gview.t} arm — what the Prune / Prune2
+    round loops actually drive. *)
+
 val exact_limit : int
 (** Fragment size up to which the exact finder is used (18). *)
 
@@ -23,6 +27,16 @@ val default : ?rng:Rng.t -> ?domains:int -> Fn_expansion.Cut.objective -> t
     solved exactly; larger ones use the heuristic estimator.
     [domains] is forwarded to {!Fn_expansion.Estimate.run} (default
     1: sequential, byte-reproducible). *)
+
+val default_v : ?rng:Rng.t -> ?domains:int -> Fn_expansion.Cut.objective -> t_v
+(** {!default} over views.  The CSR arm delegates to {!default}
+    unchanged (byte-identical results).  On the implicit arm the
+    portfolio is narrower: disconnection witnesses and exact small
+    fragments work as before (small fragments are induced into a
+    throwaway CSR), but large fragments run only the BFS-ball slice
+    ({!Fn_expansion.Estimate.ball_witness_v}) — the spectral sweep
+    needs a CSR matvec.  A [None] is correspondingly weaker evidence
+    of high expansion on implicit views. *)
 
 val exact : Fn_expansion.Cut.objective -> t
 (** Exact only; raises [Invalid_argument] beyond {!exact_limit}. *)

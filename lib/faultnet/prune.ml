@@ -9,18 +9,18 @@ type result = {
   threshold : float;
 }
 
-let run ?(obs = Fn_obs.Sink.null) ?finder ?rng ?domains g ~alive ~alpha ~epsilon =
+let run_v ?(obs = Fn_obs.Sink.null) ?finder ?rng ?domains view ~alive ~alpha ~epsilon =
   if alpha <= 0.0 then invalid_arg "Prune.run: alpha must be positive";
   if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Prune.run: need 0 < epsilon < 1";
   let finder =
     match finder with
     | Some f -> f
-    | None -> Low_expansion.default ?rng ?domains Fn_expansion.Cut.Node
+    | None -> Low_expansion.default_v ?rng ?domains Fn_expansion.Cut.Node
   in
   (* per-round boundary counts reuse one generation-stamped scratch
      instead of allocating a boundary Bitset every round; equal to
      Boundary.node_boundary_size by construction (differential test) *)
-  let scratch = Boundary.Scratch.create (Graph.num_nodes g) in
+  let scratch = Boundary.Scratch.create (Gview.num_nodes view) in
   let threshold = alpha *. epsilon in
   let on = Fn_obs.Sink.enabled obs in
   let sp =
@@ -42,12 +42,12 @@ let run ?(obs = Fn_obs.Sink.null) ?finder ?rng ?domains g ~alive ~alpha ~epsilon
   while !continue do
     if Bitset.cardinal current < 2 then continue := false
     else
-      match finder ~alive:current g ~threshold with
+      match finder ~alive:current view ~threshold with
       | None -> continue := false
       | Some s ->
         incr iterations;
         let size = Bitset.cardinal s in
-        let boundary = Boundary.Scratch.node_boundary_size scratch ~alive:current g s in
+        let boundary = Boundary.Scratch.node_boundary_size_v scratch ~alive:current view s in
         assert (size >= 1);
         assert (Bitset.subset s current);
         culled := { set = s; size; boundary } :: !culled;
@@ -74,6 +74,18 @@ let run ?(obs = Fn_obs.Sink.null) ?finder ?rng ?domains g ~alive ~alpha ~epsilon
           ("kept", Fn_obs.Sink.Int (Bitset.cardinal current));
         ];
   { kept = current; culled = List.rev !culled; iterations = !iterations; threshold }
+
+let run ?obs ?finder ?rng ?domains g ~alive ~alpha ~epsilon =
+  (* a custom Graph finder closes over [g]; the default lifts to
+     Low_expansion.default_v, whose CSR arm is Low_expansion.default *)
+  let finder =
+    Option.map
+      (fun f ~alive view ~threshold ->
+        ignore view;
+        f ~alive g ~threshold)
+      finder
+  in
+  run_v ?obs ?finder ?rng ?domains (Gview.Csr g) ~alive ~alpha ~epsilon
 
 let total_culled r = List.fold_left (fun acc c -> acc + c.size) 0 r.culled
 

@@ -53,6 +53,23 @@ val run :
     measured boundary ratio, survivor count); with the default null
     sink no clock is read and nothing is allocated. *)
 
+val run_v :
+  ?obs:Fn_obs.Sink.t ->
+  ?finder:Low_expansion.t_v ->
+  ?rng:Rng.t ->
+  ?domains:int ->
+  Gview.t ->
+  alive:Bitset.t ->
+  alpha:float ->
+  epsilon:float ->
+  result
+(** {!run} on either {!Gview.t} arm.  The round loop (finder call,
+    scratch boundary count, cull accounting) never materializes
+    edges, so Prune runs on implicit 10^7-node topologies; the
+    default finder is {!Low_expansion.default_v}, whose implicit arm
+    is the narrower ball-only portfolio.  [run g] equals
+    [run_v (Gview.Csr g)] exactly. *)
+
 val total_culled : result -> int
 
 val verify_certificates : Graph.t -> alive:Bitset.t -> result -> bool

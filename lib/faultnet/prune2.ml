@@ -18,15 +18,15 @@ type result = {
    connected components meets the same edge-boundary-to-size ratio
    (the ratio of a disjoint union is a weighted mediant of the
    components' ratios).  Pick the best component. *)
-let best_connected_piece ~scratch ~alive g s threshold =
-  let comps = Components.compute ~alive:s g in
+let best_connected_piece ~scratch ~alive view s threshold =
+  let comps = Components.compute_v ~alive:s view in
   if comps.Components.count = 0 then None
   else begin
     let best = ref None in
     for id = 0 to comps.Components.count - 1 do
       let c = Components.members comps id in
       let ratio =
-        float_of_int (Boundary.Scratch.edge_boundary_size scratch ~alive g c)
+        float_of_int (Boundary.Scratch.edge_boundary_size_v scratch ~alive view c)
         /. float_of_int (Bitset.cardinal c)
       in
       match !best with
@@ -38,17 +38,17 @@ let best_connected_piece ~scratch ~alive g s threshold =
     | _ -> None
   end
 
-let run ?(obs = Fn_obs.Sink.null) ?finder ?rng ?domains g ~alive ~alpha_e ~epsilon =
+let run_v ?(obs = Fn_obs.Sink.null) ?finder ?rng ?domains view ~alive ~alpha_e ~epsilon =
   if alpha_e <= 0.0 then invalid_arg "Prune2.run: alpha_e must be positive";
   if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Prune2.run: need 0 < epsilon < 1";
   let finder =
     match finder with
     | Some f -> f
-    | None -> Low_expansion.default ?rng ?domains Fn_expansion.Cut.Edge
+    | None -> Low_expansion.default_v ?rng ?domains Fn_expansion.Cut.Edge
   in
   (* one generation-stamped scratch serves every boundary count of the
      run (round certificates and the witness component split) *)
-  let scratch = Boundary.Scratch.create (Graph.num_nodes g) in
+  let scratch = Boundary.Scratch.create (Gview.num_nodes view) in
   let threshold = alpha_e *. epsilon in
   let on = Fn_obs.Sink.enabled obs in
   let sp =
@@ -70,16 +70,18 @@ let run ?(obs = Fn_obs.Sink.null) ?finder ?rng ?domains g ~alive ~alpha_e ~epsil
   while !continue do
     if Bitset.cardinal current < 2 then continue := false
     else
-      match finder ~alive:current g ~threshold with
+      match finder ~alive:current view ~threshold with
       | None -> continue := false
       | Some witness -> (
-        match best_connected_piece ~scratch ~alive:current g witness threshold with
+        match best_connected_piece ~scratch ~alive:current view witness threshold with
         | None -> continue := false
         | Some s ->
           incr iterations;
-          let k = Compact.compactify ~alive:current g s in
+          let k = Compact.compactify_v ~alive:current view s in
           let size = Bitset.cardinal k in
-          let edge_boundary = Boundary.Scratch.edge_boundary_size scratch ~alive:current g k in
+          let edge_boundary =
+            Boundary.Scratch.edge_boundary_size_v scratch ~alive:current view k
+          in
           culled := { found = s; compacted = k; size; edge_boundary } :: !culled;
           Bitset.diff_into current k;
           if on then begin
@@ -105,6 +107,18 @@ let run ?(obs = Fn_obs.Sink.null) ?finder ?rng ?domains g ~alive ~alpha_e ~epsil
           ("kept", Fn_obs.Sink.Int (Bitset.cardinal current));
         ];
   { kept = current; culled = List.rev !culled; iterations = !iterations; threshold }
+
+let run ?obs ?finder ?rng ?domains g ~alive ~alpha_e ~epsilon =
+  (* a custom Graph finder closes over [g]; the default lifts to
+     Low_expansion.default_v, whose CSR arm is Low_expansion.default *)
+  let finder =
+    Option.map
+      (fun f ~alive view ~threshold ->
+        ignore view;
+        f ~alive g ~threshold)
+      finder
+  in
+  run_v ?obs ?finder ?rng ?domains (Gview.Csr g) ~alive ~alpha_e ~epsilon
 
 let total_culled r = List.fold_left (fun acc c -> acc + c.size) 0 r.culled
 

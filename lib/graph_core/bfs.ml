@@ -1,51 +1,73 @@
 let is_alive alive v =
   match alive with None -> true | Some mask -> Bitset.mem mask v
 
-let check_src g alive src =
-  if src < 0 || src >= Graph.num_nodes g then invalid_arg "Bfs: source out of range";
+let check_src view alive src =
+  if src < 0 || src >= Gview.num_nodes view then invalid_arg "Bfs: source out of range";
   if not (is_alive alive src) then invalid_arg "Bfs: source not alive"
 
 (* Frontiers are flat int-array ring buffers with head/tail cursors:
    every node is enqueued at most once, so capacity n never wraps and
    a traversal costs one array allocation instead of a heap cell per
-   push (Queue.t).  [head = tail] means empty. *)
+   push (Queue.t).  [head = tail] means empty.
 
-let multi_source_distances ?alive g srcs =
-  let n = Graph.num_nodes g in
+   Every traversal takes a [Gview.t] and matches it once at the top:
+   the [Csr] arm loops over the flat adjacency arrays exactly as
+   before, the [Implicit] arm drives the generator closure.  The
+   [Graph.t] entry points below are thin [Csr] wrappers. *)
+
+let multi_source_distances_v ?alive view srcs =
+  let n = Gview.num_nodes view in
   let dist = Array.make n (-1) in
   let queue = Array.make (max 1 n) 0 in
   let head = ref 0 and tail = ref 0 in
   Array.iter
     (fun s ->
-      check_src g alive s;
+      check_src view alive s;
       if dist.(s) < 0 then begin
         dist.(s) <- 0;
         queue.(!tail) <- s;
         incr tail
       end)
     srcs;
-  while !head < !tail do
-    let u = queue.(!head) in
-    incr head;
-    Graph.iter_neighbors g u (fun v ->
-        if dist.(v) < 0 && is_alive alive v then begin
-          dist.(v) <- dist.(u) + 1;
-          queue.(!tail) <- v;
-          incr tail
-        end)
-  done;
+  let visit u v =
+    if dist.(v) < 0 && is_alive alive v then begin
+      dist.(v) <- dist.(u) + 1;
+      queue.(!tail) <- v;
+      incr tail
+    end
+  in
+  (match view with
+  | Gview.Csr g ->
+    while !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      Graph.iter_neighbors g u (fun v -> visit u v)
+    done
+  | Gview.Implicit i ->
+    let iter = i.Gview.iter_neighbors in
+    while !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      iter u (fun v -> visit u v)
+    done);
   dist
+
+let multi_source_distances ?alive g srcs = multi_source_distances_v ?alive (Gview.Csr g) srcs
+
+let distances_v ?alive view src = multi_source_distances_v ?alive view [| src |]
 
 let distances ?alive g src = multi_source_distances ?alive g [| src |]
 
-let reachable ?alive g src =
-  let dist = distances ?alive g src in
-  let out = Bitset.create (Graph.num_nodes g) in
+let reachable_v ?alive view src =
+  let dist = distances_v ?alive view src in
+  let out = Bitset.create (Gview.num_nodes view) in
   Array.iteri (fun v d -> if d >= 0 then Bitset.add out v) dist;
   out
 
+let reachable ?alive g src = reachable_v ?alive (Gview.Csr g) src
+
 let tree ?alive g src =
-  check_src g alive src;
+  check_src (Gview.Csr g) alive src;
   let n = Graph.num_nodes g in
   let parent = Array.make n (-1) in
   let queue = Array.make (max 1 n) 0 in
@@ -65,9 +87,9 @@ let tree ?alive g src =
   done;
   parent
 
-let ball ?alive g src r =
-  check_src g alive src;
-  let n = Graph.num_nodes g in
+let ball_v ?alive view src r =
+  check_src view alive src;
+  let n = Gview.num_nodes view in
   let dist = Array.make n (-1) in
   let out = Bitset.create n in
   let queue = Array.make (max 1 n) 0 in
@@ -76,26 +98,38 @@ let ball ?alive g src r =
   Bitset.add out src;
   queue.(0) <- src;
   tail := 1;
-  while !head < !tail do
-    let u = queue.(!head) in
-    incr head;
-    if dist.(u) < r then
-      Graph.iter_neighbors g u (fun v ->
-          if dist.(v) < 0 && is_alive alive v then begin
-            dist.(v) <- dist.(u) + 1;
-            Bitset.add out v;
-            queue.(!tail) <- v;
-            incr tail
-          end)
-  done;
+  let visit u v =
+    if dist.(v) < 0 && is_alive alive v then begin
+      dist.(v) <- dist.(u) + 1;
+      Bitset.add out v;
+      queue.(!tail) <- v;
+      incr tail
+    end
+  in
+  (match view with
+  | Gview.Csr g ->
+    while !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      if dist.(u) < r then Graph.iter_neighbors g u (fun v -> visit u v)
+    done
+  | Gview.Implicit i ->
+    let iter = i.Gview.iter_neighbors in
+    while !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      if dist.(u) < r then iter u (fun v -> visit u v)
+    done);
   out
+
+let ball ?alive g src r = ball_v ?alive (Gview.Csr g) src r
 
 (* Resumable ball growth: the frontier state persists between calls,
    so growing a ball through doubling size targets (Estimate's
    geometric candidate schedule) traverses each node once overall
    instead of restarting the BFS per target. *)
 type ball_grower = {
-  g : Graph.t;
+  view : Gview.t;
   alive : Bitset.t option;
   seen : bool array;
   queue : int array;
@@ -105,12 +139,12 @@ type ball_grower = {
   mutable size : int;
 }
 
-let ball_grower ?alive g src =
-  check_src g alive src;
-  let n = Graph.num_nodes g in
+let ball_grower_v ?alive view src =
+  check_src view alive src;
+  let n = Gview.num_nodes view in
   let t =
     {
-      g;
+      view;
       alive;
       seen = Array.make n false;
       queue = Array.make (max 1 n) 0;
@@ -124,24 +158,41 @@ let ball_grower ?alive g src =
   t.queue.(0) <- src;
   t
 
+let ball_grower ?alive g src = ball_grower_v ?alive (Gview.Csr g) src
+
 let ball_size t = t.size
 
 let ball_exhausted t = t.head >= t.tail
 
 let grow_ball t k =
-  while t.size < k && t.head < t.tail do
-    let u = t.queue.(t.head) in
-    t.head <- t.head + 1;
-    Bitset.add t.ball u;
-    t.size <- t.size + 1;
-    Graph.iter_neighbors t.g u (fun v ->
-        if (not t.seen.(v)) && is_alive t.alive v then begin
-          t.seen.(v) <- true;
-          t.queue.(t.tail) <- v;
-          t.tail <- t.tail + 1
-        end)
-  done;
+  let expand v =
+    if (not t.seen.(v)) && is_alive t.alive v then begin
+      t.seen.(v) <- true;
+      t.queue.(t.tail) <- v;
+      t.tail <- t.tail + 1
+    end
+  in
+  (match t.view with
+  | Gview.Csr g ->
+    while t.size < k && t.head < t.tail do
+      let u = t.queue.(t.head) in
+      t.head <- t.head + 1;
+      Bitset.add t.ball u;
+      t.size <- t.size + 1;
+      Graph.iter_neighbors g u expand
+    done
+  | Gview.Implicit i ->
+    let iter = i.Gview.iter_neighbors in
+    while t.size < k && t.head < t.tail do
+      let u = t.queue.(t.head) in
+      t.head <- t.head + 1;
+      Bitset.add t.ball u;
+      t.size <- t.size + 1;
+      iter u expand
+    done);
   Bitset.copy t.ball
+
+let ball_of_size_v ?alive view src k = grow_ball (ball_grower_v ?alive view src) k
 
 let ball_of_size ?alive g src k = grow_ball (ball_grower ?alive g src) k
 

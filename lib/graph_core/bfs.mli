@@ -2,7 +2,27 @@
 
     All functions treat nodes outside [alive] as absent; omitting
     [alive] means the whole graph is alive.  Distances use [-1] for
-    unreachable (or dead) nodes. *)
+    unreachable (or dead) nodes.
+
+    The traversal core runs on {!Gview.t} (the [_v] entry points) and
+    matches the representation once at the top: CSR inputs keep the
+    flat-array loops, implicit inputs drive the generator closure
+    without ever materializing edges.  The [Graph.t] functions are
+    thin [Gview.Csr] wrappers kept for the existing call sites. *)
+
+val distances_v : ?alive:Bitset.t -> Gview.t -> int -> int array
+(** Hop distances from [src] on either representation; [-1] marks
+    unreachable nodes.  [src] must be alive. *)
+
+val multi_source_distances_v : ?alive:Bitset.t -> Gview.t -> int array -> int array
+
+val reachable_v : ?alive:Bitset.t -> Gview.t -> int -> Bitset.t
+
+val ball_v : ?alive:Bitset.t -> Gview.t -> int -> int -> Bitset.t
+(** [ball_v view src r] is the set of alive nodes within distance [r];
+    order-insensitive, so both arms agree exactly. *)
+
+val ball_of_size_v : ?alive:Bitset.t -> Gview.t -> int -> int -> Bitset.t
 
 val distances : ?alive:Bitset.t -> Graph.t -> int -> int array
 (** [distances g src] is the array of hop distances from [src];
@@ -34,6 +54,11 @@ type ball_grower
 val ball_grower : ?alive:Bitset.t -> Graph.t -> int -> ball_grower
 (** [ball_grower g src] starts a traversal at [src] with no node
     collected yet.  [src] must be alive. *)
+
+val ball_grower_v : ?alive:Bitset.t -> Gview.t -> int -> ball_grower
+(** Like {!ball_grower} on either representation.  On an implicit view
+    the grower holds O(n) traversal state but touches only the ball it
+    actually grows — the 10^7-node bench kernels go through here. *)
 
 val grow_ball : ball_grower -> int -> Bitset.t
 (** [grow_ball t k] extends the traversal until at least [k] nodes

@@ -1,27 +1,44 @@
 let is_alive alive v =
   match alive with None -> true | Some mask -> Bitset.mem mask v
 
-let node_boundary ?alive g u =
-  let out = Bitset.create (Graph.num_nodes g) in
+(* The counting kernels are written once over a neighbor iterator and
+   bound per representation: the CSR arm passes [Graph.iter_neighbors g]
+   (the flat-array row loop), the implicit arm passes the generator
+   closure.  The dispatch happens once per boundary query — outside
+   the per-member loop — so both arms stay monomorphic inside. *)
+
+let neighbor_iter view =
+  match view with
+  | Gview.Csr g -> Graph.iter_neighbors g
+  | Gview.Implicit i -> i.Gview.iter_neighbors
+
+let node_boundary_v ?alive view u =
+  let iter = neighbor_iter view in
+  let out = Bitset.create (Gview.num_nodes view) in
   Bitset.iter
     (fun v ->
       if is_alive alive v then
-        Graph.iter_neighbors g v (fun w ->
-            if (not (Bitset.mem u w)) && is_alive alive w then Bitset.add out w))
+        iter v (fun w -> if (not (Bitset.mem u w)) && is_alive alive w then Bitset.add out w))
     u;
   out
 
-let node_boundary_size ?alive g u = Bitset.cardinal (node_boundary ?alive g u)
+let node_boundary ?alive g u = node_boundary_v ?alive (Gview.Csr g) u
 
-let edge_boundary_size ?alive g u =
+let node_boundary_size_v ?alive view u = Bitset.cardinal (node_boundary_v ?alive view u)
+
+let node_boundary_size ?alive g u = node_boundary_size_v ?alive (Gview.Csr g) u
+
+let edge_boundary_size_v ?alive view u =
+  let iter = neighbor_iter view in
   let count = ref 0 in
   Bitset.iter
     (fun v ->
       if is_alive alive v then
-        Graph.iter_neighbors g v (fun w ->
-            if (not (Bitset.mem u w)) && is_alive alive w then incr count))
+        iter v (fun w -> if (not (Bitset.mem u w)) && is_alive alive w then incr count))
     u;
   !count
+
+let edge_boundary_size ?alive g u = edge_boundary_size_v ?alive (Gview.Csr g) u
 
 let edge_boundary ?alive g u =
   let out = ref [] in
@@ -33,15 +50,17 @@ let edge_boundary ?alive g u =
     u;
   List.rev !out
 
-let internal_edge_count ?alive g u =
+let internal_edge_count_v ?alive view u =
+  let iter = neighbor_iter view in
   let twice = ref 0 in
   Bitset.iter
     (fun v ->
       if is_alive alive v then
-        Graph.iter_neighbors g v (fun w ->
-            if Bitset.mem u w && is_alive alive w then incr twice))
+        iter v (fun w -> if Bitset.mem u w && is_alive alive w then incr twice))
     u;
   !twice / 2
+
+let internal_edge_count ?alive g u = internal_edge_count_v ?alive (Gview.Csr g) u
 
 let alive_cardinal alive u =
   match alive with
@@ -62,12 +81,13 @@ module Scratch = struct
     if n < 0 then invalid_arg "Boundary.Scratch.create: negative universe";
     { stamp = 0; in_set = Array.make n 0; seen = Array.make n 0 }
 
-  let check t g =
-    if Array.length t.in_set <> Graph.num_nodes g then
+  let check t view =
+    if Array.length t.in_set <> Gview.num_nodes view then
       invalid_arg "Boundary.Scratch: universe size mismatch"
 
-  let node_boundary_size t ?alive g u =
-    check t g;
+  let node_boundary_size_v t ?alive view u =
+    check t view;
+    let iter = neighbor_iter view in
     t.stamp <- t.stamp + 1;
     let m = t.stamp in
     let in_set = t.in_set and seen = t.seen in
@@ -76,7 +96,7 @@ module Scratch = struct
     Bitset.iter
       (fun v ->
         if is_alive alive v then
-          Graph.iter_neighbors g v (fun w ->
+          iter v (fun w ->
               if in_set.(w) <> m && seen.(w) <> m && is_alive alive w then begin
                 seen.(w) <- m;
                 incr count
@@ -84,8 +104,11 @@ module Scratch = struct
       u;
     !count
 
-  let edge_boundary_size t ?alive g u =
-    check t g;
+  let node_boundary_size t ?alive g u = node_boundary_size_v t ?alive (Gview.Csr g) u
+
+  let edge_boundary_size_v t ?alive view u =
+    check t view;
+    let iter = neighbor_iter view in
     t.stamp <- t.stamp + 1;
     let m = t.stamp in
     let in_set = t.in_set in
@@ -94,22 +117,27 @@ module Scratch = struct
     Bitset.iter
       (fun v ->
         if is_alive alive v then
-          Graph.iter_neighbors g v (fun w ->
-              if in_set.(w) <> m && is_alive alive w then incr count))
+          iter v (fun w -> if in_set.(w) <> m && is_alive alive w then incr count))
       u;
     !count
+
+  let edge_boundary_size t ?alive g u = edge_boundary_size_v t ?alive (Gview.Csr g) u
 end
 
-let node_expansion ?alive g u =
+let node_expansion_v ?alive view u =
   let size = alive_cardinal alive u in
   if size = 0 then invalid_arg "Boundary.node_expansion: empty set";
-  float_of_int (node_boundary_size ?alive g u) /. float_of_int size
+  float_of_int (node_boundary_size_v ?alive view u) /. float_of_int size
 
-let edge_expansion ?alive g u =
+let node_expansion ?alive g u = node_expansion_v ?alive (Gview.Csr g) u
+
+let edge_expansion_v ?alive view u =
   let inside = alive_cardinal alive u in
   let total =
-    match alive with None -> Graph.num_nodes g | Some mask -> Bitset.cardinal mask
+    match alive with None -> Gview.num_nodes view | Some mask -> Bitset.cardinal mask
   in
   let outside = total - inside in
   if inside = 0 || outside = 0 then invalid_arg "Boundary.edge_expansion: empty side";
-  float_of_int (edge_boundary_size ?alive g u) /. float_of_int (min inside outside)
+  float_of_int (edge_boundary_size_v ?alive view u) /. float_of_int (min inside outside)
+
+let edge_expansion ?alive g u = edge_expansion_v ?alive (Gview.Csr g) u

@@ -2,7 +2,24 @@
 
     All functions may be restricted to an [alive] mask: dead nodes
     belong to neither side and dead endpoints kill an edge.  [u]
-    itself is excluded from its own boundary, as in the paper. *)
+    itself is excluded from its own boundary, as in the paper.
+
+    The counting core runs on {!Gview.t} (the [_v] entry points):
+    boundary sizes are order-insensitive, so the CSR and implicit arms
+    agree exactly on the same topology.  The [Graph.t] functions are
+    thin [Gview.Csr] wrappers. *)
+
+val node_boundary_v : ?alive:Bitset.t -> Gview.t -> Bitset.t -> Bitset.t
+
+val node_boundary_size_v : ?alive:Bitset.t -> Gview.t -> Bitset.t -> int
+
+val edge_boundary_size_v : ?alive:Bitset.t -> Gview.t -> Bitset.t -> int
+
+val internal_edge_count_v : ?alive:Bitset.t -> Gview.t -> Bitset.t -> int
+
+val node_expansion_v : ?alive:Bitset.t -> Gview.t -> Bitset.t -> float
+
+val edge_expansion_v : ?alive:Bitset.t -> Gview.t -> Bitset.t -> float
 
 val node_boundary : ?alive:Bitset.t -> Graph.t -> Bitset.t -> Bitset.t
 (** [node_boundary g u] is Γ(U): alive nodes outside [u] adjacent to a
@@ -41,6 +58,12 @@ module Scratch : sig
 
   val edge_boundary_size : t -> ?alive:Bitset.t -> Graph.t -> Bitset.t -> int
   (** Equals {!Boundary.edge_boundary_size} on the same arguments. *)
+
+  val node_boundary_size_v : t -> ?alive:Bitset.t -> Gview.t -> Bitset.t -> int
+  (** {!node_boundary_size} on either representation — the Prune round
+      loop drives this on implicit tori without materializing edges. *)
+
+  val edge_boundary_size_v : t -> ?alive:Bitset.t -> Gview.t -> Bitset.t -> int
 end
 
 val node_expansion : ?alive:Bitset.t -> Graph.t -> Bitset.t -> float

@@ -32,6 +32,7 @@ let add_edges t es = List.iter (fun (u, v) -> add_edge t u v) es
 
 let edge_count t = t.len
 
-let to_graph t =
-  let es = Array.init t.len (fun i -> (t.us.(i), t.vs.(i))) in
-  Graph.of_edge_array t.n es
+(* The builder already holds flat endpoint arrays, so it feeds the
+   canonical construction path directly — no intermediate tuple
+   array. *)
+let to_graph t = Graph.of_endpoint_arrays t.n ~us:t.us ~vs:t.vs ~len:t.len

@@ -3,8 +3,17 @@ type t = { labels : int array; sizes : int array; count : int }
 let is_alive alive v =
   match alive with None -> true | Some mask -> Bitset.mem mask v
 
-let compute ?alive g =
-  let n = Graph.num_nodes g in
+let neighbor_iter view =
+  match view with
+  | Gview.Csr g -> Graph.iter_neighbors g
+  | Gview.Implicit i -> i.Gview.iter_neighbors
+
+(* Root scan order (ascending node id) fixes the component ids, and
+   membership is order-insensitive, so both Gview arms label the same
+   topology identically. *)
+let compute_v ?alive view =
+  let iter = neighbor_iter view in
+  let n = Gview.num_nodes view in
   let labels = Array.make n (-1) in
   let sizes = ref [] in
   let count = ref 0 in
@@ -19,7 +28,7 @@ let compute ?alive g =
       while not (Stack.is_empty stack) do
         let u = Stack.pop stack in
         incr size;
-        Graph.iter_neighbors g u (fun v ->
+        iter u (fun v ->
             if labels.(v) < 0 && is_alive alive v then begin
               labels.(v) <- id;
               Stack.push v stack
@@ -31,6 +40,8 @@ let compute ?alive g =
   let sizes_arr = Array.make !count 0 in
   List.iteri (fun i s -> sizes_arr.(!count - 1 - i) <- s) !sizes;
   { labels; sizes = sizes_arr; count = !count }
+
+let compute ?alive g = compute_v ?alive (Gview.Csr g)
 
 let largest t =
   if t.count = 0 then raise Not_found;
@@ -71,4 +82,8 @@ let size_histogram t =
 
 let is_connected ?alive g =
   let c = compute ?alive g in
+  c.count <= 1
+
+let is_connected_v ?alive view =
+  let c = compute_v ?alive view in
   c.count <= 1

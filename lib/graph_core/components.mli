@@ -8,6 +8,10 @@ type t = {
 
 val compute : ?alive:Bitset.t -> Graph.t -> t
 
+val compute_v : ?alive:Bitset.t -> Gview.t -> t
+(** {!compute} on either representation; the root scan order fixes
+    component ids, so both arms agree exactly. *)
+
 val largest : t -> int
 (** Id of a largest component; raises [Not_found] when there are no
     components (everything dead or empty graph). *)
@@ -33,3 +37,5 @@ val size_histogram : t -> (int * int) list
 val is_connected : ?alive:Bitset.t -> Graph.t -> bool
 (** True iff the alive nodes form exactly one component; the empty
     alive set and the empty graph count as connected. *)
+
+val is_connected_v : ?alive:Bitset.t -> Gview.t -> bool

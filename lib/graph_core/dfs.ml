@@ -17,29 +17,49 @@ let preorder ?alive g src =
       order := u :: !order;
       incr count;
       (* push in reverse so lower-numbered neighbours pop first *)
-      let row = Graph.neighbors g u in
-      for k = Array.length row - 1 downto 0 do
-        let v = row.(k) in
-        if (not seen.(v)) && is_alive alive v then Stack.push v stack
-      done
+      Graph.rev_iter_neighbors g u (fun v ->
+          if (not seen.(v)) && is_alive alive v then Stack.push v stack)
     end
   done;
   let out = Array.make !count 0 in
   List.iteri (fun i v -> out.(!count - 1 - i) <- v) !order;
   out
 
-let reachable ?alive g src =
-  let order = preorder ?alive g src in
-  let out = Bitset.create (Graph.num_nodes g) in
-  Array.iter (Bitset.add out) order;
+(* Reachability is order-insensitive, so the view core needs no
+   reverse iteration: either arm's neighbor order gives the same set. *)
+let reachable_v ?alive view src =
+  if src < 0 || src >= Gview.num_nodes view then
+    invalid_arg "Dfs.reachable: source out of range";
+  if not (is_alive alive src) then invalid_arg "Dfs.reachable: source not alive";
+  let iter =
+    match view with
+    | Gview.Csr g -> Graph.iter_neighbors g
+    | Gview.Implicit i -> i.Gview.iter_neighbors
+  in
+  let out = Bitset.create (Gview.num_nodes view) in
+  let stack = Stack.create () in
+  Bitset.add out src;
+  Stack.push src stack;
+  while not (Stack.is_empty stack) do
+    let u = Stack.pop stack in
+    iter u (fun v ->
+        if (not (Bitset.mem out v)) && is_alive alive v then begin
+          Bitset.add out v;
+          Stack.push v stack
+        end)
+  done;
   out
 
-let is_connected_subset g s =
+let reachable ?alive g src = reachable_v ?alive (Gview.Csr g) src
+
+let is_connected_subset_v view s =
   match Bitset.choose s with
   | None -> true
   | Some src ->
-    let r = reachable ~alive:s g src in
+    let r = reachable_v ~alive:s view src in
     Bitset.cardinal r = Bitset.cardinal s
+
+let is_connected_subset g s = is_connected_subset_v (Gview.Csr g) s
 
 let forest ?alive g =
   let n = Graph.num_nodes g in

@@ -6,9 +6,15 @@ val preorder : ?alive:Bitset.t -> Graph.t -> int -> int array
 
 val reachable : ?alive:Bitset.t -> Graph.t -> int -> Bitset.t
 
+val reachable_v : ?alive:Bitset.t -> Gview.t -> int -> Bitset.t
+(** Reachable set on either representation; order-insensitive, so both
+    {!Gview.t} arms agree. *)
+
 val is_connected_subset : Graph.t -> Bitset.t -> bool
 (** [is_connected_subset g s] is true iff the subgraph induced by [s]
     is connected (the empty set counts as connected). *)
+
+val is_connected_subset_v : Gview.t -> Bitset.t -> bool
 
 val forest : ?alive:Bitset.t -> Graph.t -> int array
 (** DFS forest over all alive nodes: parent array with roots mapped to

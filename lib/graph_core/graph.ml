@@ -41,6 +41,11 @@ let iter_neighbors t v f =
     f t.adj.(k)
   done
 
+let rev_iter_neighbors t v f =
+  for k = t.xadj.(v + 1) - 1 downto t.xadj.(v) do
+    f t.adj.(k)
+  done
+
 let fold_neighbors t v f init =
   let acc = ref init in
   for k = t.xadj.(v) to t.xadj.(v + 1) - 1 do
@@ -81,59 +86,80 @@ let edges t =
       incr k);
   out
 
-let of_edge_array n es =
-  if n < 0 then invalid_arg "Graph.of_edge_array: negative node count";
-  Array.iter
-    (fun (u, v) ->
-      if u < 0 || u >= n || v < 0 || v >= n then
-        invalid_arg "Graph.of_edge_array: endpoint out of range";
-      if u = v then invalid_arg "Graph.of_edge_array: self-loop")
-    es;
-  (* normalize, sort, dedupe *)
-  let norm = Array.map (fun (u, v) -> if u < v then (u, v) else (v, u)) es in
-  Array.sort compare_int_pair norm;
+(* The one CSR construction path.  Every public constructor
+   ([of_edges], [of_edge_array], [Builder.to_graph]) funnels through
+   here: endpoints are validated in input order, normalized to
+   [u < v], packed into single-int keys ([u * n + v]) so the dedupe
+   sort is a flat monomorphic int sort (no tuple boxing, no
+   polymorphic compare), and the adjacency array is filled sorted by
+   construction — backward arcs first, then forward arcs, each pass in
+   ascending key order — so no per-row re-sort is needed. *)
+let of_endpoint_arrays_impl ~who n ~us ~vs ~len =
+  if n < 0 then invalid_arg (who ^ ": negative node count");
+  if n > 1 lsl 30 then invalid_arg (who ^ ": too many nodes for a materialized graph");
+  if len < 0 || len > Array.length us || len > Array.length vs then
+    invalid_arg (who ^ ": bad endpoint array length");
+  let keys = Array.make len 0 in
+  for i = 0 to len - 1 do
+    let u = us.(i) and v = vs.(i) in
+    if u < 0 || u >= n || v < 0 || v >= n then invalid_arg (who ^ ": endpoint out of range");
+    if u = v then invalid_arg (who ^ ": self-loop");
+    let a = if u < v then u else v and b = if u < v then v else u in
+    keys.(i) <- (a * n) + b
+  done;
+  Array.sort Int.compare keys;
   let m =
     let count = ref 0 in
-    Array.iteri (fun i e -> if i = 0 || norm.(i - 1) <> e then incr count) norm;
+    for i = 0 to len - 1 do
+      if i = 0 || keys.(i - 1) <> keys.(i) then incr count
+    done;
     !count
   in
-  let uniq = Array.make m (0, 0) in
-  let k = ref 0 in
-  Array.iteri
-    (fun i e ->
-      if i = 0 || norm.(i - 1) <> e then begin
-        uniq.(!k) <- e;
-        incr k
-      end)
-    norm;
-  let deg = Array.make n 0 in
-  Array.iter
-    (fun (u, v) ->
+  let deg = Array.make (max 1 n) 0 in
+  for i = 0 to len - 1 do
+    if i = 0 || keys.(i - 1) <> keys.(i) then begin
+      let u = keys.(i) / n and v = keys.(i) mod n in
       deg.(u) <- deg.(u) + 1;
-      deg.(v) <- deg.(v) + 1)
-    uniq;
+      deg.(v) <- deg.(v) + 1
+    end
+  done;
   let xadj = Array.make (n + 1) 0 in
   for v = 0 to n - 1 do
     xadj.(v + 1) <- xadj.(v) + deg.(v)
   done;
   let adj = Array.make (2 * m) 0 in
   let cursor = Array.copy xadj in
-  Array.iter
-    (fun (u, v) ->
-      adj.(cursor.(u)) <- v;
-      cursor.(u) <- cursor.(u) + 1;
+  (* backward arcs (v <- u): for fixed v, sources u arrive ascending *)
+  for i = 0 to len - 1 do
+    if i = 0 || keys.(i - 1) <> keys.(i) then begin
+      let u = keys.(i) / n and v = keys.(i) mod n in
       adj.(cursor.(v)) <- u;
-      cursor.(v) <- cursor.(v) + 1)
-    uniq;
-  (* rows are sorted because uniq is lexicographically sorted for the
-     first endpoint, but second-endpoint entries interleave: sort rows *)
-  for v = 0 to n - 1 do
-    let lo = xadj.(v) and len = deg.(v) in
-    let row = Array.sub adj lo len in
-    Array.sort Int.compare row;
-    Array.blit row 0 adj lo len
+      cursor.(v) <- cursor.(v) + 1
+    end
+  done;
+  (* forward arcs (u -> v): targets v > u arrive ascending and land
+     after every backward source u' < u, so rows end up sorted *)
+  for i = 0 to len - 1 do
+    if i = 0 || keys.(i - 1) <> keys.(i) then begin
+      let u = keys.(i) / n and v = keys.(i) mod n in
+      adj.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1
+    end
   done;
   { n; xadj; adj }
+
+let of_endpoint_arrays n ~us ~vs ~len =
+  of_endpoint_arrays_impl ~who:"Graph.of_endpoint_arrays" n ~us ~vs ~len
+
+let of_edge_array n es =
+  let len = Array.length es in
+  let us = Array.make len 0 and vs = Array.make len 0 in
+  for i = 0 to len - 1 do
+    let u, v = es.(i) in
+    us.(i) <- u;
+    vs.(i) <- v
+  done;
+  of_endpoint_arrays_impl ~who:"Graph.of_edge_array" n ~us ~vs ~len
 
 let of_edges n es = of_edge_array n (Array.of_list es)
 

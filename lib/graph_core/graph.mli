@@ -31,6 +31,11 @@ val neighbors : t -> int -> int array
 val iter_neighbors : t -> int -> (int -> unit) -> unit
 (** Allocation-free iteration over the neighbours of a node. *)
 
+val rev_iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Like {!iter_neighbors}, highest neighbour first.  DFS pushes rows
+    in reverse so lower-numbered neighbours pop first; this keeps that
+    order without {!neighbors}'s fresh array per node. *)
+
 val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
 
 val has_edge : t -> int -> int -> bool
@@ -44,10 +49,19 @@ val fold_edges : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
 val edges : t -> (int * int) array
 (** All undirected edges, each once, with [u < v], lexicographic. *)
 
+val of_endpoint_arrays : int -> us:int array -> vs:int array -> len:int -> t
+(** The canonical construction path: [of_endpoint_arrays n ~us ~vs
+    ~len] builds a graph on [n] nodes from the first [len] endpoint
+    pairs [(us.(i), vs.(i))].  Self-loops are rejected; duplicate
+    edges (in either orientation) are merged; rows come out sorted.
+    Every other constructor ({!of_edges}, {!of_edge_array},
+    [Builder.to_graph]) delegates here, so validation, dedupe and CSR
+    layout live in exactly one place.  Raises [Invalid_argument] on
+    out-of-range endpoints. *)
+
 val of_edges : int -> (int * int) list -> t
-(** [of_edges n es] builds a graph on [n] nodes.  Self-loops are
-    rejected; duplicate edges (in either orientation) are merged.
-    Raises [Invalid_argument] on out-of-range endpoints. *)
+(** [of_edges n es] builds a graph on [n] nodes.  Same semantics as
+    {!of_endpoint_arrays} (which it delegates to). *)
 
 val of_edge_array : int -> (int * int) array -> t
 

@@ -1,0 +1,87 @@
+(** Pluggable graph access: one interface over two representations.
+
+    Every traversal/boundary algorithm in faultnet accepts a [Gview.t]
+    and matches it {e once} at the top:
+
+    - [Csr g] wraps a materialized {!Graph.t}; the algorithm's CSR arm
+      keeps its tight flat-array loops, so performance (and output) is
+      exactly the classic path.
+    - [Implicit r] defines the topology by a neighbor {e function}
+      (coordinate / bit arithmetic); no edge set is ever stored, which
+      is what lets structured topologies (meshes, tori, hypercubes,
+      butterflies, de Bruijn, chain-replacement graphs) scale to
+      n = 10^7 and beyond on O(n)-or-less memory.
+
+    A variant — not a functor — keeps both arms monomorphic: the CSR
+    loops see concrete int arrays, the implicit loops see one closure,
+    and no algorithm is compiled per-representation (see DESIGN.md,
+    "Pluggable graph access").
+
+    Implicit views must describe simple undirected graphs over nodes
+    [0 .. n-1]: [iter_neighbors v] emits each neighbor exactly once, no
+    self-loops, and edges are symmetric ([w] emitted for [v] iff [v]
+    emitted for [w]).  Neighbor order is the generator's choice; only
+    order-insensitive results (distances, boundary sizes, component
+    membership) are guaranteed identical across arms.  {!materialize}
+    validates all of this, and the property tests compare every
+    implicit generator edge-for-edge against its materialized twin. *)
+
+type implicit = {
+  n : int;  (** node count *)
+  max_degree : int;  (** exact maximum degree, known a priori (O(1)) *)
+  degree : int -> int;  (** exact degree of a node *)
+  iter_neighbors : int -> (int -> unit) -> unit;
+      (** emit each neighbor exactly once; allocation-free *)
+  has_edge : int -> int -> bool;  (** adjacency test *)
+}
+
+type t = Csr of Graph.t | Implicit of implicit
+
+val of_graph : Graph.t -> t
+(** [of_graph g] is [Csr g]. *)
+
+val implicit :
+  n:int ->
+  max_degree:int ->
+  ?degree:(int -> int) ->
+  ?has_edge:(int -> int -> bool) ->
+  (int -> (int -> unit) -> unit) ->
+  t
+(** [implicit ~n ~max_degree iter] builds an implicit view.  [degree]
+    defaults to counting [iter]'s emissions; [has_edge] defaults to a
+    scan over [iter].  Generators with cheap closed forms should pass
+    both. *)
+
+val num_nodes : t -> int
+
+val max_degree : t -> int
+(** O(1) on the implicit arm (the stored bound); scans degrees on the
+    CSR arm like {!Graph.max_degree}. *)
+
+val degree : t -> int -> int
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** One-call dispatch.  Hot loops should instead match the view once
+    and loop inside the arm. *)
+
+val has_edge : t -> int -> int -> bool
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** Iterate each undirected edge once with [u < v].  CSR arm follows
+    {!Graph.iter_edges} order; implicit arm visits nodes in increasing
+    order and keeps the generator's neighbor order within a node. *)
+
+val num_edges : t -> int
+(** Undirected edge count.  O(1) + nothing on the CSR arm; counts via
+    {!iter_edges} (O(n·d)) on the implicit arm. *)
+
+val materialize : t -> Graph.t
+(** Flatten a view into a CSR graph: identity on [Csr], and an exact
+    edge-for-edge conversion on [Implicit] (rows sorted, the
+    {!Graph.t} invariants re-established).  Raises [Invalid_argument]
+    if the implicit view emits a self-loop, a duplicate neighbor, an
+    out-of-range node, an asymmetric edge, or a degree inconsistent
+    with its [degree]/[max_degree] metadata — this is the validation
+    choke point the differential tests drive. *)
+
+val pp : Format.formatter -> t -> unit

@@ -457,6 +457,53 @@ let no_exit_in_lib =
   rule
 
 (* ------------------------------------------------------------------ *)
+(* 9. no-raw-csr-outside-kernels                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* [Graph.xadj]/[Graph.adj] expose the flat CSR arrays, which only
+   exist on materialized graphs.  Code written against them silently
+   loses the implicit arm of [Gview.t] — it cannot run on a generated
+   10^7-node torus.  Everything outside the few allowlisted flat-array
+   kernels must go through [Graph.iter_neighbors] / [Gview].  The check
+   fires on the [Graph] token whether or not it is itself qualified, so
+   [Fn_graph.Graph.xadj] from outside the library is caught too. *)
+let raw_csr_fields = [ "xadj"; "adj" ]
+
+let no_raw_csr_outside_kernels =
+  let rec check rule ctx i acc =
+    let c = ctx.code in
+    if i >= Array.length c then List.rev acc
+    else
+      let acc =
+        match c.(i) with
+        | { kind = Token.Uident; text = "Graph"; _ }
+          when is_dot c (i + 1)
+               && (match tok c (i + 2) with
+                  | Some { kind = Token.Ident; text = fn; _ } -> List.mem fn raw_csr_fields
+                  | _ -> false) ->
+            finding rule ctx
+              ~message:
+                "raw CSR access (Graph.xadj/Graph.adj) pins this code to \
+                 materialized graphs and breaks on implicit Gview topologies; \
+                 iterate with Graph.iter_neighbors / Gview.iter_neighbors, or \
+                 allowlist this file as a flat-array kernel"
+              c.(i)
+            :: acc
+        | _ -> acc
+      in
+      check rule ctx (i + 1) acc
+  in
+  let rec rule =
+    {
+      name = "no-raw-csr-outside-kernels";
+      severity = Error;
+      doc = "Graph.xadj/Graph.adj only in allowlisted flat-array kernels";
+      check = (fun ctx -> if is_ml ctx.path then check rule ctx 0 [] else []);
+    }
+  in
+  rule
+
+(* ------------------------------------------------------------------ *)
 (* Registry and allowlist                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -478,6 +525,7 @@ let all =
     no_raw_timing;
     no_todo_naked;
     no_exit_in_lib;
+    no_raw_csr_outside_kernels;
     par_capture_mutation;
     rng_unsplit_in_par;
     par_float_reduce;
@@ -505,6 +553,12 @@ let allowlist =
        allowlisted: benchmark timing must read Fn_obs.Clock so bench
        numbers and observability spans share one clock. *)
     ("no-raw-timing", [ Prefix "lib/obs/" ]);
+    (* the only flat-array kernels: check.ml walks the raw CSR to
+       validate its invariants (sortedness, symmetry — the thing the
+       accessors assume), and routing/sim.ml's arc-indexed queues are
+       keyed by CSR edge positions, which have no Gview analogue *)
+    ( "no-raw-csr-outside-kernels",
+      [ Prefix "lib/graph_core/check.ml"; Prefix "lib/routing/sim.ml" ] );
     (* lib/obs/span.ml defines and internally calls its own [exit]
        (closing a span); that shadowed name is not Stdlib.exit *)
     ("no-exit-in-lib", [ Basename "span.ml" ]);

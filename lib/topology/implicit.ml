@@ -1,0 +1,213 @@
+open Fn_graph
+
+(* Every generator here mirrors a materializing constructor in this
+   directory edge-for-edge (the property tests compare them through
+   Gview.materialize and Graph.equal).  The closures only do
+   coordinate / bit arithmetic on the node id — no per-call
+   allocation — so a 10^7-node torus costs nothing until an algorithm
+   actually walks it. *)
+
+let materialize = Gview.materialize
+
+(* ---- mesh / torus --------------------------------------------------- *)
+
+(* [dims] is copied: the geometry must not change under the closures. *)
+let grid_geometry ~who dims =
+  if Array.length dims = 0 then invalid_arg (who ^ ": zero dimensions");
+  Array.iter (fun s -> if s < 1 then invalid_arg (who ^ ": side < 1")) dims;
+  let dims = Array.copy dims in
+  let d = Array.length dims in
+  let strides = Array.make d 1 in
+  for i = d - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * dims.(i + 1)
+  done;
+  let size = Array.fold_left ( * ) 1 dims in
+  (dims, strides, size)
+
+let mesh dims =
+  let dims, strides, size = grid_geometry ~who:"Implicit.mesh" dims in
+  let d = Array.length dims in
+  let max_degree = Array.fold_left (fun acc s -> acc + min (s - 1) 2) 0 dims in
+  let iter v f =
+    for i = 0 to d - 1 do
+      let s = strides.(i) and side = dims.(i) in
+      let c = v / s mod side in
+      if c > 0 then f (v - s);
+      if c + 1 < side then f (v + s)
+    done
+  in
+  let degree v =
+    let deg = ref 0 in
+    for i = 0 to d - 1 do
+      let c = v / strides.(i) mod dims.(i) in
+      if c > 0 then incr deg;
+      if c + 1 < dims.(i) then incr deg
+    done;
+    !deg
+  in
+  let has_edge u v =
+    let diff = abs (u - v) in
+    u <> v
+    && begin
+         let ok = ref false in
+         for i = 0 to d - 1 do
+           if diff = strides.(i) then begin
+             (* same stride-i row: the lower id must not sit on the
+                upper face of dimension i *)
+             let lo = min u v in
+             if (lo / strides.(i) mod dims.(i)) + 1 < dims.(i) then ok := true
+           end
+         done;
+         !ok
+       end
+  in
+  Gview.implicit ~n:size ~max_degree ~degree ~has_edge iter
+
+let torus dims =
+  let dims, strides, size = grid_geometry ~who:"Implicit.torus" dims in
+  let d = Array.length dims in
+  (* per-dimension contribution: 2 distinct ring neighbors for sides
+     >= 3, 1 for side 2 (both directions land on the same node), 0 for
+     side 1 — exactly what the materializing Torus.graph dedupes to *)
+  let per_dim s = if s >= 3 then 2 else s - 1 in
+  let max_degree = Array.fold_left (fun acc s -> acc + per_dim s) 0 dims in
+  let iter v f =
+    for i = 0 to d - 1 do
+      let s = strides.(i) and side = dims.(i) in
+      if side >= 2 then begin
+        let c = v / s mod side in
+        let up = if c + 1 = side then v - (c * s) else v + s in
+        let down = if c = 0 then v + ((side - 1) * s) else v - s in
+        f up;
+        if down <> up then f down
+      end
+    done
+  in
+  let degree _ = max_degree in
+  Gview.implicit ~n:size ~max_degree ~degree iter
+
+(* ---- hypercube ------------------------------------------------------ *)
+
+let hypercube d =
+  if d < 0 || d > 25 then invalid_arg "Implicit.hypercube: need 0 <= d <= 25";
+  let n = 1 lsl d in
+  let iter v f =
+    for bit = 0 to d - 1 do
+      f (v lxor (1 lsl bit))
+    done
+  in
+  let has_edge u v =
+    let x = u lxor v in
+    x <> 0 && x land (x - 1) = 0
+  in
+  Gview.implicit ~n ~max_degree:d ~degree:(fun _ -> d) ~has_edge iter
+
+(* ---- butterflies ---------------------------------------------------- *)
+
+let butterfly_unwrapped k =
+  if k < 1 || k > 20 then invalid_arg "Implicit.butterfly_unwrapped: need 1 <= k <= 20";
+  let rows = 1 lsl k in
+  let n = (k + 1) * rows in
+  let iter v f =
+    let level = v / rows and row = v mod rows in
+    if level < k then begin
+      f (((level + 1) * rows) + row);
+      f (((level + 1) * rows) + (row lxor (1 lsl level)))
+    end;
+    if level > 0 then begin
+      f (((level - 1) * rows) + row);
+      f (((level - 1) * rows) + (row lxor (1 lsl (level - 1))))
+    end
+  in
+  let degree v =
+    let level = v / rows in
+    (if level < k then 2 else 0) + if level > 0 then 2 else 0
+  in
+  let max_degree = if k = 1 then 2 else 4 in
+  Gview.implicit ~n ~max_degree ~degree iter
+
+let butterfly_wrapped k =
+  if k < 2 || k > 20 then invalid_arg "Implicit.butterfly_wrapped: need 2 <= k <= 20";
+  let rows = 1 lsl k in
+  let n = k * rows in
+  let iter v f =
+    let level = v / rows and row = v mod rows in
+    let next = (level + 1) mod k and prev = (level + k - 1) mod k in
+    f ((next * rows) + row);
+    f ((next * rows) + (row lxor (1 lsl level)));
+    (* at k = 2 the straight edge to [next] IS the straight edge to
+       [prev] (the two levels coincide); emitting it twice would be a
+       duplicate the CSR twin dedupes *)
+    if k > 2 then f ((prev * rows) + row);
+    f ((prev * rows) + (row lxor (1 lsl prev)))
+  in
+  let max_degree = if k = 2 then 3 else 4 in
+  Gview.implicit ~n ~max_degree ~degree:(fun _ -> max_degree) iter
+
+(* ---- de Bruijn ------------------------------------------------------ *)
+
+let debruijn k =
+  if k < 1 || k > 22 then invalid_arg "Implicit.debruijn: need 1 <= k <= 22";
+  let n = 1 lsl k in
+  let mask = n - 1 in
+  let high = 1 lsl (k - 1) in
+  (* successors and predecessors of the shift map, self-loops dropped
+     and overlaps emitted once — the undirected dedupe the CSR twin
+     gets from its builder *)
+  let iter v f =
+    let s0 = (v lsl 1) land mask in
+    let s1 = s0 lor 1 in
+    let p0 = v lsr 1 in
+    let p1 = p0 lor high in
+    if s0 <> v then f s0;
+    if s1 <> v then f s1;
+    if p0 <> v && p0 <> s0 && p0 <> s1 then f p0;
+    if p1 <> v && p1 <> s0 && p1 <> s1 && p1 <> p0 then f p1
+  in
+  (* exact max degrees at the degenerate orders: K2 at k = 1; at
+     k = 2 every pred/succ set overlaps or hits a self-loop somewhere,
+     capping the max at 3 *)
+  let max_degree = if k = 1 then 1 else if k = 2 then 3 else 4 in
+  Gview.implicit ~n ~max_degree iter
+
+(* ---- chain-replacement ---------------------------------------------- *)
+
+let chain_graph base ~k =
+  if k < 2 || k mod 2 = 1 then invalid_arg "Implicit.chain_graph: k must be even and >= 2";
+  let n_base = Graph.num_nodes base in
+  let base_edges = Graph.edges base in
+  let m = Array.length base_edges in
+  let n = n_base + (m * k) in
+  (* base_edges is lex-sorted ((u, v), u < v) by Graph.edges, so the
+     chain index of an incident edge is a binary search away *)
+  let edge_index u v =
+    let key = if u < v then (u, v) else (v, u) in
+    let lo = ref 0 and hi = ref (m - 1) and found = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let c = Graph.compare_int_pair base_edges.(mid) key in
+      if c = 0 then begin
+        found := mid;
+        lo := !hi + 1
+      end
+      else if c < 0 then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
+  in
+  let iter v f =
+    if v < n_base then
+      Graph.iter_neighbors base v (fun w ->
+          let j = edge_index v w in
+          if v < w then f (n_base + (j * k)) else f (n_base + (j * k) + k - 1))
+    else begin
+      let off = v - n_base in
+      let j = off / k and i = off mod k in
+      let u, w = base_edges.(j) in
+      if i = 0 then f u else f (v - 1);
+      if i = k - 1 then f w else f (v + 1)
+    end
+  in
+  let degree v = if v < n_base then Graph.degree base v else 2 in
+  let max_degree = max (Graph.max_degree base) 2 in
+  Gview.implicit ~n ~max_degree ~degree iter

@@ -1,0 +1,272 @@
+(* Gview: implicit generators vs their materializing twins, and
+   algorithm agreement across the two arms. *)
+
+open Fn_graph
+open Fn_topology
+open Fn_prng
+open Testutil
+
+(* ---- edge-for-edge agreement with the materializing constructors ---- *)
+
+let check_twin name view twin =
+  let m = Implicit.materialize view in
+  check_bool (name ^ ": materialized = twin") true (Graph.equal m twin);
+  (* degree metadata agrees everywhere, max bound is exact *)
+  let n = Graph.num_nodes twin in
+  for v = 0 to n - 1 do
+    check_int
+      (Printf.sprintf "%s: degree %d" name v)
+      (Graph.degree twin v) (Gview.degree view v)
+  done;
+  if n > 0 then check_int (name ^ ": max degree") (Graph.max_degree twin) (Gview.max_degree view);
+  (* has_edge spot checks against the twin, random pairs + all edges *)
+  let rng = Rng.create 0x6E1D in
+  for _ = 1 to 50 do
+    if n > 0 then begin
+      let u = Rng.int rng n and v = Rng.int rng n in
+      check_bool
+        (Printf.sprintf "%s: has_edge %d %d" name u v)
+        (Graph.has_edge twin u v) (Gview.has_edge view u v)
+    end
+  done;
+  Graph.iter_edges twin (fun u v ->
+      check_bool (Printf.sprintf "%s: edge %d-%d" name u v) true (Gview.has_edge view u v))
+
+let test_mesh_twins () =
+  List.iter
+    (fun dims ->
+      let twin, _ = Mesh.graph dims in
+      check_twin
+        (Printf.sprintf "mesh[%s]" (String.concat "x" (List.map string_of_int (Array.to_list dims))))
+        (Implicit.mesh dims) twin)
+    [ [| 1 |]; [| 2 |]; [| 7 |]; [| 3; 4 |]; [| 2; 2 |]; [| 2; 2; 2 |]; [| 4; 1; 3 |]; [| 2; 3; 5 |] ]
+
+let test_torus_twins () =
+  List.iter
+    (fun dims ->
+      let twin, _ = Torus.graph dims in
+      check_twin
+        (Printf.sprintf "torus[%s]" (String.concat "x" (List.map string_of_int (Array.to_list dims))))
+        (Implicit.torus dims) twin)
+    [ [| 1 |]; [| 2 |]; [| 3 |]; [| 8 |]; [| 2; 2 |]; [| 2; 3 |]; [| 4; 4 |]; [| 1; 5 |]; [| 2; 3; 4 |] ]
+
+let test_hypercube_twins () =
+  for d = 0 to 7 do
+    check_twin
+      (Printf.sprintf "hypercube %d" d)
+      (Implicit.hypercube d) (Hypercube.graph d)
+  done
+
+let test_butterfly_twins () =
+  for k = 1 to 5 do
+    check_twin
+      (Printf.sprintf "butterfly unwrapped %d" k)
+      (Implicit.butterfly_unwrapped k) (Butterfly.unwrapped k)
+  done;
+  for k = 2 to 5 do
+    check_twin
+      (Printf.sprintf "butterfly wrapped %d" k)
+      (Implicit.butterfly_wrapped k) (Butterfly.wrapped k)
+  done
+
+let test_debruijn_twins () =
+  for k = 1 to 8 do
+    check_twin (Printf.sprintf "debruijn %d" k) (Implicit.debruijn k) (Debruijn.graph k)
+  done
+
+let test_chain_graph_twins () =
+  let bases =
+    [
+      ("triangle", Graph.of_edges 3 [ (0, 1); (1, 2); (0, 2) ]);
+      ("path4", Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ]);
+      ("q3", Hypercube.graph 3);
+    ]
+  in
+  List.iter
+    (fun (bname, base) ->
+      List.iter
+        (fun k ->
+          let twin = Chain_graph.build base ~k in
+          check_twin
+            (Printf.sprintf "chain %s k=%d" bname k)
+            (Implicit.chain_graph base ~k)
+            twin.Chain_graph.graph)
+        [ 2; 4 ])
+    bases
+
+(* materialized rows come out sorted — the Graph invariant checker
+   would reject anything else, but assert it directly too *)
+let test_materialize_sorted_rows () =
+  let g = Implicit.materialize (Implicit.debruijn 5) in
+  for v = 0 to Graph.num_nodes g - 1 do
+    let prev = ref (-1) in
+    Graph.iter_neighbors g v (fun w ->
+        check_bool "strictly increasing row" true (w > !prev);
+        prev := w)
+  done
+
+(* ---- materialize validation: broken generators are rejected ---- *)
+
+let test_materialize_rejects () =
+  let raises name view =
+    match Gview.materialize view with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  raises "self-loop" (Gview.implicit ~n:3 ~max_degree:2 (fun v f -> f v));
+  raises "out of range" (Gview.implicit ~n:3 ~max_degree:2 (fun _ f -> f 7));
+  raises "duplicate"
+    (Gview.implicit ~n:2 ~max_degree:3 (fun v f ->
+         f (1 - v);
+         f (1 - v)));
+  raises "asymmetric"
+    (Gview.implicit ~n:3 ~max_degree:1 (fun v f -> if v = 0 then f 1));
+  raises "max_degree lie"
+    (Gview.implicit ~n:4 ~max_degree:1 (fun v f ->
+         if v = 0 then begin
+           f 1;
+           f 2;
+           f 3
+         end
+         else f 0));
+  raises "degree lie"
+    (Gview.implicit ~n:2 ~max_degree:2
+       ~degree:(fun _ -> 2)
+       (fun v f -> f (1 - v)))
+
+(* ---- the two arms agree on traversal / boundary / components ---- *)
+
+let arms name view twin =
+  let csr = Gview.Csr twin in
+  let n = Graph.num_nodes twin in
+  check_bool (name ^ ": distances") true
+    (Bfs.distances_v csr 0 = Bfs.distances_v view 0);
+  check_bool (name ^ ": multi-source") true
+    (Bfs.multi_source_distances_v csr [| 0; n - 1 |]
+    = Bfs.multi_source_distances_v view [| 0; n - 1 |]);
+  check_bool (name ^ ": ball r=2") true
+    (Bitset.equal (Bfs.ball_v csr 0 2) (Bfs.ball_v view 0 2));
+  let alive = Bitset.create_full n in
+  Bitset.remove alive (n / 2);
+  let u = Bfs.ball_v ~alive csr 0 1 in
+  check_int (name ^ ": node boundary") (Boundary.node_boundary_size_v ~alive csr u)
+    (Boundary.node_boundary_size_v ~alive view u);
+  check_int (name ^ ": edge boundary")
+    (Boundary.edge_boundary_size_v ~alive csr u)
+    (Boundary.edge_boundary_size_v ~alive view u);
+  check_int (name ^ ": internal edges")
+    (Boundary.internal_edge_count_v ~alive csr u)
+    (Boundary.internal_edge_count_v ~alive view u);
+  let ca = Components.compute_v ~alive csr and cb = Components.compute_v ~alive view in
+  check_int (name ^ ": component count") ca.Components.count cb.Components.count;
+  check_bool (name ^ ": component labels") true (ca.Components.labels = cb.Components.labels)
+
+let test_arm_agreement () =
+  let twin_t, _ = Torus.graph [| 4; 5 |] in
+  arms "torus 4x5" (Implicit.torus [| 4; 5 |]) twin_t;
+  arms "debruijn 6" (Implicit.debruijn 6) (Debruijn.graph 6);
+  arms "butterfly 3" (Implicit.butterfly_wrapped 3) (Butterfly.wrapped 3)
+
+(* resumable grower: same doubling schedule on both arms *)
+let test_ball_grower_arms () =
+  let dims = [| 5; 5 |] in
+  let twin, _ = Torus.graph dims in
+  let ga = Bfs.ball_grower_v (Gview.Csr twin) 7 in
+  let gb = Bfs.ball_grower_v (Implicit.torus dims) 7 in
+  List.iter
+    (fun k ->
+      let a = Bfs.grow_ball ga k and b = Bfs.grow_ball gb k in
+      check_int (Printf.sprintf "size at %d" k) (Bitset.cardinal a) (Bitset.cardinal b))
+    [ 2; 4; 8; 16; 25 ];
+  check_bool "exhausted" true (Bfs.ball_exhausted ga && Bfs.ball_exhausted gb)
+
+(* percolation curves are byte-identical across arms for the same rng *)
+let test_percolation_arms () =
+  let dims = [| 4; 6 |] in
+  let twin, _ = Torus.graph dims in
+  let view = Implicit.torus dims in
+  let site_a = Fn_percolation.Newman_ziff.site_run_v (Rng.create 42) (Gview.Csr twin) in
+  let site_b = Fn_percolation.Newman_ziff.site_run_v (Rng.create 42) view in
+  check_bool "site curves" true
+    (site_a.Fn_percolation.Newman_ziff.occupied_largest
+    = site_b.Fn_percolation.Newman_ziff.occupied_largest);
+  let bond_a = Fn_percolation.Newman_ziff.bond_run_v (Rng.create 43) (Gview.Csr twin) in
+  let bond_b = Fn_percolation.Newman_ziff.bond_run_v (Rng.create 43) view in
+  check_bool "bond curves" true
+    (bond_a.Fn_percolation.Newman_ziff.occupied_largest
+    = bond_b.Fn_percolation.Newman_ziff.occupied_largest)
+
+(* Prune on a view: the CSR arm reproduces Prune.run exactly, and the
+   implicit arm culls a planted low-expansion appendage *)
+let test_prune_arms () =
+  let open Faultnet in
+  let dims = [| 6; 6 |] in
+  let twin, _ = Torus.graph dims in
+  let n = Graph.num_nodes twin in
+  let alive = Bitset.create_full n in
+  let a = Prune.run twin ~alive ~alpha:1.0 ~epsilon:0.5 in
+  let b = Prune.run_v (Gview.Csr twin) ~alive ~alpha:1.0 ~epsilon:0.5 in
+  check_bool "csr arm = wrapper" true (Bitset.equal a.Prune.kept b.Prune.kept);
+  check_int "same rounds" a.Prune.iterations b.Prune.iterations;
+  (* both arms under the same representation-agnostic finder: kill
+     node 0's four torus neighbors so {0} is a one-node component;
+     the round loop (scratch boundary, cull accounting) must behave
+     identically on csr and implicit inputs *)
+  let finder ~alive view ~threshold =
+    ignore threshold;
+    let comps = Components.compute_v ~alive view in
+    if comps.Components.count <= 1 then None
+    else begin
+      let smallest = ref 0 in
+      for id = 1 to comps.Components.count - 1 do
+        if comps.Components.sizes.(id) < comps.Components.sizes.(!smallest) then
+          smallest := id
+      done;
+      if 2 * comps.Components.sizes.(!smallest) <= Bitset.cardinal alive then
+        Some (Components.members comps !smallest)
+      else None
+    end
+  in
+  let alive2 = Bitset.create_full n in
+  List.iter (Bitset.remove alive2) [ 1; 5; 6; 30 ];
+  let r = Prune.run_v ~finder (Implicit.torus dims) ~alive:alive2 ~alpha:1.0 ~epsilon:0.9 in
+  let r' = Prune.run_v ~finder (Gview.Csr twin) ~alive:alive2 ~alpha:1.0 ~epsilon:0.9 in
+  check_bool "culled the isolated node" true
+    (not (Bitset.mem r.Prune.kept 0) && r.Prune.iterations >= 1);
+  check_bool "arms agree under shared finder" true (Bitset.equal r.Prune.kept r'.Prune.kept);
+  check_int "arms agree on rounds" r'.Prune.iterations r.Prune.iterations
+
+let test_ball_witness_v () =
+  (* two K4s joined by one bridge: a radius-1 ball from inside either
+     clique is exactly half the graph and witnesses the bridge cut *)
+  let clique base = [ (base, base + 1); (base, base + 2); (base, base + 3);
+                      (base + 1, base + 2); (base + 1, base + 3); (base + 2, base + 3) ] in
+  let g = Graph.of_edges 8 (clique 0 @ clique 4 @ [ (3, 4) ]) in
+  match Fn_expansion.Estimate.ball_witness_v (Gview.Csr g) Fn_expansion.Cut.Edge with
+  | None -> Alcotest.fail "expected a witness"
+  | Some cut ->
+    check_bool "found the bridge" true (cut.Fn_expansion.Cut.value <= 0.25 +. 1e-9)
+
+let () =
+  Alcotest.run "gview"
+    [
+      ( "twins",
+        [
+          case "mesh" test_mesh_twins;
+          case "torus" test_torus_twins;
+          case "hypercube" test_hypercube_twins;
+          case "butterfly" test_butterfly_twins;
+          case "debruijn" test_debruijn_twins;
+          case "chain graph" test_chain_graph_twins;
+          case "sorted rows" test_materialize_sorted_rows;
+          case "materialize rejects" test_materialize_rejects;
+        ] );
+      ( "arms",
+        [
+          case "traversal/boundary/components" test_arm_agreement;
+          case "ball grower" test_ball_grower_arms;
+          case "percolation curves" test_percolation_arms;
+          case "prune" test_prune_arms;
+          case "ball witness" test_ball_witness_v;
+        ] );
+    ]

@@ -215,6 +215,22 @@ let test_no_exit_in_lib () =
     (hit ~path:"lib/obs/span.ml" "let exit sp ok = record sp ok let f () = exit s true");
   check_bool "comment mention ok" false (hit "(* exit would be wrong *) let x = 1")
 
+let test_no_raw_csr () =
+  let hit ?path src = List.mem "no-raw-csr-outside-kernels" (rules_hit (lint ?path src)) in
+  check_bool "Graph.xadj in lib" true (hit "let x = Graph.xadj g");
+  check_bool "Graph.adj in lib" true (hit "let a = Graph.adj g");
+  check_bool "qualified Fn_graph.Graph.adj caught" true
+    (hit ~path:"bench/hot.ml" "let a = Fn_graph.Graph.adj g");
+  check_bool "tests are linted too" true (hit ~path:"test/t.ml" "let a = Graph.adj g");
+  check_bool "check.ml allowlisted" false
+    (hit ~path:"lib/graph_core/check.ml" "let xadj = Graph.xadj g");
+  check_bool "routing sim allowlisted" false
+    (hit ~path:"lib/routing/sim.ml" "let a = Graph.adj g");
+  check_bool "iter_neighbors ok" false (hit "let () = Graph.iter_neighbors g v f");
+  check_bool "local adj binding ok" false (hit "let adj = neighbors g v");
+  check_bool "other module's adj ok" false (hit "let a = Mesh.adj g");
+  check_bool "comment mention ok" false (hit "(* Graph.xadj is banned *) let x = 1")
+
 let test_no_todo_naked () =
   let hit src = List.mem "no-todo-naked" (rules_hit (lint src)) in
   check_bool "naked TODO" true (hit "(* TODO handle overflow *) let x = 1");
@@ -544,6 +560,7 @@ let () =
           Alcotest.test_case "no-print-in-lib" `Quick test_no_print_in_lib;
           Alcotest.test_case "no-raw-timing" `Quick test_no_raw_timing;
           Alcotest.test_case "no-exit-in-lib" `Quick test_no_exit_in_lib;
+          Alcotest.test_case "no-raw-csr-outside-kernels" `Quick test_no_raw_csr;
           Alcotest.test_case "no-todo-naked" `Quick test_no_todo_naked;
         ] );
       ( "suppression",
