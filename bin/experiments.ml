@@ -1,7 +1,7 @@
 (* Run the E1-E14 validation experiments and print their tables.
 
    Usage: experiments [--quick] [--seed N] [--domains N] [--json]
-                      [--trace FILE] [--metrics]
+                      [--online] [--trace FILE] [--metrics]
                       [--deadline S] [--retries N] [--chaos P]
                       [--chaos-seed N] [--resume FILE] [ids...]
    With no ids, runs everything in order.  --trace streams JSONL spans
@@ -18,9 +18,9 @@
 
 let usage () =
   prerr_endline
-    "usage: experiments [--quick] [--seed N] [--domains N] [--json] [--trace FILE] \
-     [--metrics] [--deadline S] [--retries N] [--chaos P] [--chaos-seed N] \
-     [--resume FILE] [E1 E2 ...]";
+    "usage: experiments [--quick] [--seed N] [--domains N] [--json] [--online] \
+     [--trace FILE] [--metrics] [--deadline S] [--retries N] [--chaos P] \
+     [--chaos-seed N] [--resume FILE] [E1 E2 ...]";
   exit 2
 
 let () =
@@ -28,6 +28,7 @@ let () =
   let seed = ref 1234 in
   let domains = ref None in
   let json = ref false in
+  let online = ref false in
   let trace = ref None in
   let metrics = ref false in
   let deadline = ref None in
@@ -55,6 +56,9 @@ let () =
       | None -> usage ())
     | "--json" :: rest ->
       json := true;
+      parse rest
+    | "--online" :: rest ->
+      online := true;
       parse rest
     | "--trace" :: path :: rest ->
       trace := Some path;
@@ -113,7 +117,11 @@ let () =
          computes), so a sweep may be resumed with different
          resilience flags *)
       let meta =
-        [ ("seed", Fn_obs.Jsonx.Int !seed); ("quick", Fn_obs.Jsonx.Bool !quick) ]
+        [
+          ("seed", Fn_obs.Jsonx.Int !seed);
+          ("quick", Fn_obs.Jsonx.Bool !quick);
+          ("online", Fn_obs.Jsonx.Bool !online);
+        ]
       in
       match Fn_resilience.Journal.open_ ~path ~meta with
       | Ok j ->
@@ -130,7 +138,7 @@ let () =
   in
   let cfg =
     Fn_experiments.Workload.config ~quick:!quick ~seed:!seed ?domains:!domains ~obs:sink
-      ~resilience:policy ?journal ()
+      ~resilience:policy ?journal ~online:!online ()
   in
   let entries =
     match List.rev !ids with

@@ -557,6 +557,84 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Micro-benchmark the experiment and substrate kernels (fn_bench)")
     term
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let alpha_arg =
+    let doc = "Design expansion alpha; the certificate threshold is alpha*epsilon." in
+    Arg.(value & opt float 0.5 & info [ "alpha" ] ~docv:"F" ~doc)
+  in
+  let epsilon_arg =
+    let doc = "Prune slack epsilon in (0,1)." in
+    Arg.(value & opt float 0.5 & info [ "epsilon" ] ~docv:"F" ~doc)
+  in
+  let radius_arg =
+    let doc = "Certificate ball radius." in
+    Arg.(value & opt int 2 & info [ "radius" ] ~docv:"R" ~doc)
+  in
+  let mode_arg =
+    let doc = "Alpha estimation mode: exact (history-free, byte-reproducible) or warm \
+               (spectral warm starts, audited)." in
+    let mode_conv =
+      Arg.enum [ ("exact", Fn_online.Warm.Exact); ("warm", Fn_online.Warm.Warm) ]
+    in
+    Arg.(value & opt mode_conv Fn_online.Warm.Exact & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let audit_arg =
+    let doc = "Run a full-recompute audit every $(docv) accepted batches (0 = never)." in
+    Arg.(value & opt int 0 & info [ "audit-every" ] ~docv:"N" ~doc)
+  in
+  let domains_arg =
+    let doc = "Worker domains for the expansion estimator." in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let journal_arg =
+    let doc = "Record accepted batches to $(docv) (JSONL) for kill-and-resume." in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    let doc = "Replay an existing journal before serving." in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let run seed topology alpha epsilon radius mode audit_every domains journal resume trace
+      metrics =
+    with_obs ~trace ~metrics (fun obs ->
+        let rng = rng_of_seed seed in
+        match Fn_online.Server.view_of_spec rng topology with
+        | Error m -> `Error (false, m)
+        | Ok view ->
+          let cfg =
+            {
+              Fn_online.Engine.seed;
+              radius;
+              alpha;
+              epsilon;
+              mode;
+              audit_every;
+              domains;
+              obs;
+            }
+          in
+          let engine = Fn_online.Engine.create ~cfg view in
+          let meta = [ ("topology", Fn_obs.Jsonx.Str topology) ] in
+          (match Fn_online.Server.serve ?journal ~resume ~meta engine stdin stdout with
+          | Ok () -> `Ok ()
+          | Error m -> `Error (false, m)))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ seed_arg $ topology_arg $ alpha_arg $ epsilon_arg $ radius_arg
+       $ mode_arg $ audit_arg $ domains_arg $ journal_arg $ resume_arg $ trace_arg
+       $ metrics_arg))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve online expansion certificates under streaming churn on stdin/stdout \
+          (the faultnetd protocol; supports implicit itorus:/imesh:/ihypercube: specs)")
+    term
+
 let () =
   let doc = "Fault-tolerant network expansion toolkit (SPAA 2004 reproduction)" in
   let info = Cmd.info "faultnet" ~version:"1.0.0" ~doc in
@@ -564,7 +642,7 @@ let () =
     Cmd.group info
       [
         gen_cmd; expansion_cmd; prune_cmd; span_cmd; percolate_cmd; attack_cmd; route_cmd; report_cmd; connectivity_cmd;
-        metrics_cmd; experiment_cmd; bench_cmd;
+        metrics_cmd; experiment_cmd; bench_cmd; serve_cmd;
       ]
   in
   exit (Cmd.eval group)

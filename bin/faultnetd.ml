@@ -1,0 +1,118 @@
+(* faultnetd — long-lived online expansion daemon.
+
+   Speaks the Fn_online.Protocol line protocol on stdin/stdout: apply
+   churn batches, query aliveness / survivor certificates / alpha,
+   audit, dump a state digest.  Deterministic given --seed: with
+   --journal every accepted batch is recorded, and restarting with
+   --journal PATH --resume replays the session into a byte-identical
+   state (see Fn_online.Server). *)
+
+let usage () =
+  prerr_endline
+    "usage: faultnetd --topology SPEC [--seed N] [--alpha F] [--epsilon F] [--radius N]\n\
+    \       [--mode exact|warm] [--audit-every N] [--domains N]\n\
+    \       [--journal PATH] [--resume] [--trace FILE] [--metrics]\n\
+     topologies: itorus:1000x1000 imesh:100x100 ihypercube:20 mesh:8x8 torus:16x16\n\
+    \       hypercube:10 debruijn:8 complete:64 cycle:100 expander:256:6";
+  exit 2
+
+let () =
+  let topology = ref None in
+  let seed = ref 1 in
+  let alpha = ref 0.5 in
+  let epsilon = ref 0.5 in
+  let radius = ref 2 in
+  let mode = ref Fn_online.Warm.Exact in
+  let audit_every = ref 0 in
+  let domains = ref None in
+  let journal = ref None in
+  let resume = ref false in
+  let trace = ref None in
+  let metrics = ref false in
+  let int_of s = match int_of_string_opt s with Some v -> v | None -> usage () in
+  let float_of s = match float_of_string_opt s with Some v -> v | None -> usage () in
+  let rec parse = function
+    | [] -> ()
+    | "--topology" :: v :: rest | "-t" :: v :: rest ->
+      topology := Some v;
+      parse rest
+    | "--seed" :: v :: rest ->
+      seed := int_of v;
+      parse rest
+    | "--alpha" :: v :: rest ->
+      alpha := float_of v;
+      parse rest
+    | "--epsilon" :: v :: rest ->
+      epsilon := float_of v;
+      parse rest
+    | "--radius" :: v :: rest ->
+      radius := int_of v;
+      parse rest
+    | "--mode" :: v :: rest -> (
+      match Fn_online.Warm.mode_of_string v with
+      | Some m ->
+        mode := m;
+        parse rest
+      | None -> usage ())
+    | "--audit-every" :: v :: rest ->
+      audit_every := int_of v;
+      parse rest
+    | "--domains" :: v :: rest ->
+      domains := Some (int_of v);
+      parse rest
+    | "--journal" :: v :: rest ->
+      journal := Some v;
+      parse rest
+    | "--resume" :: rest ->
+      resume := true;
+      parse rest
+    | "--trace" :: v :: rest ->
+      trace := Some v;
+      parse rest
+    | "--metrics" :: rest ->
+      metrics := true;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !topology with
+  | None -> usage ()
+  | Some spec ->
+    let sink =
+      match !trace with
+      | Some path -> Fn_obs.Sink.jsonl_file path
+      | None -> if !metrics then Fn_obs.Sink.discard () else Fn_obs.Sink.null
+    in
+    let finish () =
+      Fn_obs.Sink.close sink;
+      if !metrics then prerr_string (Fn_obs.Metrics.report_text ())
+    in
+    Fun.protect ~finally:finish (fun () ->
+        let rng = Fn_prng.Rng.create !seed in
+        match Fn_online.Server.view_of_spec rng spec with
+        | Error m ->
+          prerr_endline ("faultnetd: " ^ m);
+          exit 2
+        | Ok view ->
+          let cfg =
+            {
+              Fn_online.Engine.seed = !seed;
+              radius = !radius;
+              alpha = !alpha;
+              epsilon = !epsilon;
+              mode = !mode;
+              audit_every = !audit_every;
+              domains = !domains;
+              obs = sink;
+            }
+          in
+          let engine = Fn_online.Engine.create ~cfg view in
+          let meta = [ ("topology", Fn_obs.Jsonx.Str spec) ] in
+          (match
+             Fn_online.Server.serve ?journal:!journal ~resume:!resume ~meta engine stdin
+               stdout
+           with
+          | Ok () -> ()
+          | Error m ->
+            prerr_endline ("faultnetd: " ^ m);
+            exit 1))

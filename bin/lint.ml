@@ -45,12 +45,16 @@ let explain name =
     r.doc;
   (match List.assoc_opt r.name Fn_lint.Rules.allowlist with
   | None | Some [] -> ()
-  | Some pats ->
+  | Some entries ->
     let show = function
       | Fn_lint.Rules.Prefix p -> p ^ "*"
       | Fn_lint.Rules.Basename b -> "**/" ^ b
     in
-    Printf.printf "  allowlisted: %s\n" (String.concat ", " (List.map show pats)));
+    print_string "  allowlisted:\n";
+    List.iter
+      (fun (a : Fn_lint.Rules.allow) ->
+        Printf.printf "    %-28s %s\n" (show a.Fn_lint.Rules.pattern) a.Fn_lint.Rules.why)
+      entries);
   Printf.printf
     "  suppress one site with:  (* lint: allow %s <justification> *)\n" r.name;
   exit 0

@@ -7,6 +7,7 @@ let experiments = "experiments"
 let substrate = "kernels"
 let ablations = "ablations"
 let scale = "scale"
+let online = "online"
 
 let rng0 = Fn_prng.Rng.create 0xBEC4
 let fresh () = Fn_prng.Rng.copy rng0
@@ -304,6 +305,84 @@ let () =
         end
       in
       Faultnet.Prune.run_v ~finder view ~alive ~alpha:2.0 ~epsilon)
+
+(* ---- online: incremental certificates under streaming churn ---- *)
+
+(* A 1000 x 1000 implicit torus and one long-lived engine over it.
+   The event schedule is reversible (every faulted node is repaired
+   within the run), so the engine returns to the all-alive steady
+   state between runs and every run times identical work. *)
+let torus1e6 = lazy (Fn_topology.Implicit.torus [| 1000; 1000 |])
+
+let online_engine =
+  lazy
+    (Fn_online.Engine.create
+       ~cfg:{ Fn_online.Engine.default_config with alpha = 1.0; epsilon = 0.5 }
+       (Lazy.force torus1e6))
+
+(* 64 pairwise-distant churn targets: spacing 7919 keeps their dirty
+   regions disjoint, so per-event cost is the honest locality bound *)
+let churn_targets = Array.init 64 (fun i -> 7919 * (i + 1))
+
+let apply_or_die eng evs =
+  match Fn_online.Engine.apply eng evs with
+  | Ok _ -> ()
+  | Error e -> failwith ("online kernel: " ^ Fn_faults.Churn.error_to_string e)
+
+(* Streamed events through the maintained certificate: 4 fault/repair
+   batch pairs of 64 events each (512 events), the cascade forced
+   after every batch as a serving loop would.  The acceptance bar is
+   items/sec here vs the from-scratch comparator below. *)
+let () =
+  reg ~suite:online ~items:512 "online_events_torus1e6" (dep online_engine) (fun () ->
+      let eng = Lazy.force online_engine in
+      for _ = 1 to 4 do
+        let faults = Array.to_list (Array.map (fun v -> Fn_online.Event.Fault v) churn_targets) in
+        apply_or_die eng faults;
+        ignore (Fn_online.Engine.result eng);
+        let repairs =
+          Array.to_list (Array.map (fun v -> Fn_online.Event.Repair v) churn_targets)
+        in
+        apply_or_die eng repairs;
+        ignore (Fn_online.Engine.result eng)
+      done)
+
+(* The from-scratch comparator: the same 64-fault batch answered by a
+   full Cert.scratch cascade over all 10^6 nodes.  items = batch size,
+   so items/sec is directly comparable with the kernel above. *)
+let faulted_1e6 =
+  lazy
+    (let n = Fn_graph.Gview.num_nodes (Lazy.force torus1e6) in
+     let alive = Fn_graph.Bitset.create_full n in
+     Array.iter (fun v -> Fn_graph.Bitset.remove alive v) churn_targets;
+     alive)
+
+let () =
+  reg ~suite:online ~items:64 "online_scratch_torus1e6"
+    (deps [ dep torus1e6; dep faulted_1e6 ])
+    (fun () ->
+      Fn_online.Cert.scratch (Lazy.force torus1e6) ~alive:(Lazy.force faulted_1e6)
+        ~alpha:1.0 ~epsilon:0.5)
+
+(* Steady-state query latency: 256 mixed alive/certificate/alpha
+   probes against the maintained state.  Prepare warms the alpha memo,
+   so the timed region is the serving path, not the first spectral
+   estimate. *)
+let () =
+  reg ~suite:online ~items:256 "online_query_latency"
+    (fun () ->
+      ignore (Lazy.force online_engine);
+      ignore (Fn_online.Engine.alpha (Lazy.force online_engine)))
+    (fun () ->
+      let eng = Lazy.force online_engine in
+      let acc = ref 0 in
+      for i = 0 to 255 do
+        let v = 1234 + (3137 * i) in
+        if Fn_online.Engine.is_alive eng v then incr acc;
+        if Fn_online.Engine.in_certificate eng v then incr acc;
+        if i land 15 = 0 then ignore (Fn_online.Engine.alpha eng : float)
+      done;
+      !acc)
 
 (* ---- ablations ---- *)
 

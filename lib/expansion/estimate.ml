@@ -7,6 +7,7 @@ type t = {
   objective : Cut.objective;
   exact : bool;
   lower : float option;
+  fiedler_pair : (float array * float array) option;
 }
 
 (* Cap on parallel local-search starts.  A constant (rather than the
@@ -123,7 +124,7 @@ let ball_witness_v ?alive ?rng ?(samples = 8) view objective =
   end
 
 let run ?(obs = Fn_obs.Sink.null) ?alive ?rng ?(domains = 1) ?(samples = 8)
-    ?(local_search_passes = 4) ?(force_heuristic = false) g objective =
+    ?(local_search_passes = 4) ?(force_heuristic = false) ?warm g objective =
   let rng = match rng with Some r -> r | None -> Rng.create 0xFA17 in
   let total =
     match alive with Some m -> Bitset.cardinal m | None -> Graph.num_nodes g
@@ -143,7 +144,9 @@ let run ?(obs = Fn_obs.Sink.null) ?alive ?rng ?(domains = 1) ?(samples = 8)
   in
   let result =
     match disconnected_witness ?alive g with
-    | Some w -> { value = 0.0; witness = w; objective; exact = true; lower = Some 0.0 }
+    | Some w ->
+      { value = 0.0; witness = w; objective; exact = true; lower = Some 0.0;
+        fiedler_pair = None }
     | None ->
     let use_exact =
       (not force_heuristic) && Option.is_none alive && Graph.num_nodes g <= Exact.max_nodes
@@ -154,13 +157,14 @@ let run ?(obs = Fn_obs.Sink.null) ?alive ?rng ?(domains = 1) ?(samples = 8)
         | Cut.Node -> Exact.node_expansion g
         | Cut.Edge -> Exact.edge_expansion g
       in
-      { value = cut.Cut.value; witness = cut.Cut.set; objective; exact = true; lower = Some cut.Cut.value }
+      { value = cut.Cut.value; witness = cut.Cut.set; objective; exact = true;
+        lower = Some cut.Cut.value; fiedler_pair = None }
     end
     else begin
       (* one fused spectral solve: the lambda2 Fiedler vector IS the
          first vector of the pair, so Spectral.solve shares the power
          iteration instead of running it twice *)
-      let spectral, f2 = Spectral.solve ~obs ?alive ~domains g in
+      let spectral, f2 = Spectral.solve ~obs ?alive ~domains ?warm g in
       (* sweep the Fiedler pair and two 45-degree rotations: when the
          lambda2 eigenspace is degenerate (square meshes, tori) the
          single power-iteration vector is an arbitrary rotation of the
@@ -223,7 +227,8 @@ let run ?(obs = Fn_obs.Sink.null) ?alive ?rng ?(domains = 1) ?(samples = 8)
           Some (Spectral.conductance_to_edge_expansion_lb g phi_lb)
         | Cut.Node -> None
       in
-      { value = refined.Cut.value; witness = refined.Cut.set; objective; exact = false; lower }
+      { value = refined.Cut.value; witness = refined.Cut.set; objective; exact = false;
+        lower; fiedler_pair = Some (f1, f2) }
     end
   in
   if on then

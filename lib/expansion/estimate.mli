@@ -22,6 +22,10 @@ type t = {
   objective : Cut.objective;
   exact : bool;
   lower : float option;  (** certified lower bound, when available *)
+  fiedler_pair : (float array * float array) option;
+      (** the spectral embeddings behind the sweep cuts, when the
+          heuristic branch ran — reusable as [?warm] for the next
+          estimate on a nearby alive mask *)
 }
 
 val run :
@@ -32,12 +36,16 @@ val run :
   ?samples:int ->
   ?local_search_passes:int ->
   ?force_heuristic:bool ->
+  ?warm:float array * float array ->
   Graph.t ->
   Cut.objective ->
   t
 (** Defaults: [samples] 8, [local_search_passes] 4, [rng] seeded with
     0xFA17, [domains] 1, [force_heuristic] false (use {!Exact} when
-    feasible).  Requires >= 2 alive nodes.  A disconnected alive set
+    feasible).  Requires >= 2 alive nodes.  [warm] is forwarded to
+    {!Spectral.solve} on the heuristic branch: warm-started runs are
+    faster on nearby masks but not bit-identical to cold ones, so the
+    default stays cold.  A disconnected alive set
     yields value 0 with a component witness.  An enabled [obs] sink
     wraps the whole estimate in an ["expansion.estimate"] span (with
     nested spectral spans from {!Spectral}); the default null sink

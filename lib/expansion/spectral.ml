@@ -6,7 +6,8 @@ type result = { lambda2 : float; fiedler : float array; iterations : int }
    matvec: the synchronization would cost more than the arithmetic. *)
 let par_node_threshold = 1024
 
-let power_iteration ?alive ?(domains = 1) ?(max_iter = 1000) ?(tol = 1e-9) g ~deflate_against =
+let power_iteration ?alive ?(domains = 1) ?(max_iter = 1000) ?(tol = 1e-9) ?start g
+    ~deflate_against =
   let n = Graph.num_nodes g in
   let is_alive v = match alive with None -> true | Some m -> Bitset.mem m v in
   let deg = Array.make n 0 in
@@ -68,9 +69,21 @@ let power_iteration ?alive ?(domains = 1) ?(max_iter = 1000) ?(tol = 1e-9) g ~de
   (* deterministic pseudo-random start; offset by the deflation depth
      so the second vector starts elsewhere *)
   let phase = 1 + List.length deflate_against in
-  let y =
+  let cold_start () =
     Array.init n (fun i ->
         if is_alive i then cos (float_of_int (((i + phase) * 7919) + phase)) else 0.0)
+  in
+  (* A warm start is a previous *embedding* x = D^{-1/2} y: lift it
+     back to y-space under the current degrees/mask.  If deflation
+     collapses it (mask change killed its support), fall back to the
+     cold start rather than iterating on a zero vector. *)
+  let y =
+    match start with
+    | Some x when Array.length x = n ->
+      let y = Array.init n (fun i -> if is_alive i then x.(i) *. sqrt_deg.(i) else 0.0) in
+      deflate y;
+      if sqrt (dot y y) > 1e-12 then y else cold_start ()
+    | _ -> cold_start ()
   in
   deflate y;
   ignore (normalize y);
@@ -142,14 +155,78 @@ let fiedler_pair ?(obs = Fn_obs.Sink.null) ?alive ?domains ?max_iter ?tol g =
     Fn_obs.Span.exit sp ~fields:[ ("iterations", Fn_obs.Sink.Int (it1 + it2)) ];
   (f1, f2)
 
-let solve ?(obs = Fn_obs.Sink.null) ?alive ?domains ?max_iter ?tol g =
+(* How far an embedding is from being an eigenvector of 2I - L on the
+   current (alive-restricted) operator: lift x to y-space, deflate the
+   trivial direction, normalize, apply once and measure
+   ||My - (y·My)y||.  Warm-start policies use this to decide whether a
+   previous Fiedler pair is still worth iterating from after the mask
+   changed; [infinity] when the lifted vector has no support left. *)
+let residual ?alive g x =
+  let n = Graph.num_nodes g in
+  if Array.length x <> n then invalid_arg "Spectral.residual: vector size mismatch";
+  let is_alive v = match alive with None -> true | Some m -> Bitset.mem m v in
+  let deg = Array.make n 0 in
+  for v = 0 to n - 1 do
+    if is_alive v then
+      deg.(v) <- (match alive with None -> Graph.degree g v | Some m -> Graph.alive_degree g m v)
+  done;
+  let sqrt_deg = Array.map (fun d -> sqrt (float_of_int d)) deg in
+  let dot a b =
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (a.(i) *. b.(i))
+    done;
+    !acc
+  in
+  let v1 = Array.make n 0.0 in
+  let norm1 = sqrt (Array.fold_left (fun acc d -> acc +. float_of_int d) 0.0 deg) in
+  if norm1 > 0.0 then
+    for v = 0 to n - 1 do
+      if is_alive v then v1.(v) <- sqrt_deg.(v) /. norm1
+    done;
+  let y = Array.init n (fun v -> if is_alive v then x.(v) *. sqrt_deg.(v) else 0.0) in
+  let c = dot y v1 in
+  for i = 0 to n - 1 do
+    y.(i) <- y.(i) -. (c *. v1.(i))
+  done;
+  let nrm = sqrt (dot y y) in
+  if nrm <= 1e-12 then infinity
+  else begin
+    for i = 0 to n - 1 do
+      y.(i) <- y.(i) /. nrm
+    done;
+    let z = Array.make n 0.0 in
+    for v = 0 to n - 1 do
+      if is_alive v then begin
+        if deg.(v) = 0 then z.(v) <- y.(v)
+        else begin
+          let acc = ref 0.0 in
+          Graph.iter_neighbors g v (fun w ->
+              if is_alive w && deg.(w) > 0 then acc := !acc +. (y.(w) /. sqrt_deg.(w)));
+          z.(v) <- y.(v) +. (!acc /. sqrt_deg.(v))
+        end
+      end
+    done;
+    let mu = dot y z in
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      let d = z.(i) -. (mu *. y.(i)) in
+      acc := !acc +. (d *. d)
+    done;
+    sqrt !acc
+  end
+
+let solve ?(obs = Fn_obs.Sink.null) ?alive ?domains ?max_iter ?tol ?warm g =
   let on = Fn_obs.Sink.enabled obs in
   let sp = if on then Fn_obs.Span.enter obs "spectral.solve" else Fn_obs.Span.null in
+  let start1, start2 =
+    match warm with None -> (None, None) | Some (x1, x2) -> (Some x1, Some x2)
+  in
   let lambda2, y1, f1, it1 =
-    power_iteration ?alive ?domains ?max_iter ?tol g ~deflate_against:[]
+    power_iteration ?alive ?domains ?max_iter ?tol ?start:start1 g ~deflate_against:[]
   in
   let _, _, f2, it2 =
-    power_iteration ?alive ?domains ?max_iter ?tol g ~deflate_against:[ y1 ]
+    power_iteration ?alive ?domains ?max_iter ?tol ?start:start2 g ~deflate_against:[ y1 ]
   in
   if on then begin
     Fn_obs.Span.exit sp

@@ -59,14 +59,33 @@ val solve :
   ?domains:int ->
   ?max_iter:int ->
   ?tol:float ->
+  ?warm:float array * float array ->
   Graph.t ->
   result * float array
 (** [lambda2] and [fiedler_pair] fused: the Fiedler vector of the
     result doubles as the first vector of the pair (both are the same
     deterministic power iteration), so one call does the work of two —
     two power iterations instead of three.  Returns the {!result} and
-    the second, deflated embedding.  Bit-identical to calling
-    {!lambda2} and {!fiedler_pair} separately. *)
+    the second, deflated embedding.  Without [warm], bit-identical to
+    calling {!lambda2} and {!fiedler_pair} separately.
+
+    [warm] seeds the two power iterations with a previous embedding
+    pair (e.g. the output of an earlier [solve] on a nearby alive
+    mask) instead of the deterministic cosine start; when the mask
+    barely moved this converges in a handful of iterations.  A warm
+    vector that deflates to (near) zero under the new mask falls back
+    to the cold start.  Warm results are {e not} bit-identical to cold
+    ones — callers needing exact reproducibility must stay cold (see
+    {!residual} for the check online callers gate warm starts on). *)
+
+val residual :
+  ?alive:Bitset.t -> Graph.t -> float array -> float
+(** [residual g x] measures how far the embedding [x] (an earlier
+    Fiedler vector) is from an eigenvector of the current
+    alive-restricted operator: the L2 norm of [My - (y·My)y] for the
+    lifted, deflated, normalized [y].  Small (≲ 0.1) means [x] is
+    still a good power-iteration start after a mask change;
+    [infinity] when [x] has no alive support left. *)
 
 val cheeger_lower : result -> float
 (** λ₂ / 2 — a certified lower bound on conductance. *)

@@ -7,6 +7,7 @@ type config = {
   obs : Fn_obs.Sink.t;
   resilience : Fn_resilience.Policy.t;
   journal : Fn_resilience.Journal.t option;
+  online : bool;
 }
 
 let default =
@@ -17,11 +18,12 @@ let default =
     obs = Fn_obs.Sink.null;
     resilience = Fn_resilience.Policy.default;
     journal = None;
+    online = false;
   }
 
 let config ?(quick = false) ?(seed = 0) ?domains ?(obs = Fn_obs.Sink.null)
-    ?(resilience = Fn_resilience.Policy.default) ?journal () =
-  { quick; seed; domains; obs; resilience; journal }
+    ?(resilience = Fn_resilience.Policy.default) ?journal ?(online = false) () =
+  { quick; seed; domains; obs; resilience; journal; online }
 
 let supervised cfg ~scope ~rng f =
   Fn_resilience.Supervisor.protect ~obs:cfg.obs ~rng ~policy:cfg.resilience ~scope f

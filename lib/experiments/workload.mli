@@ -15,13 +15,19 @@ type config = {
   journal : Fn_resilience.Journal.t option;
       (** checkpoint journal; [Some _] makes {!trials} (with a codec)
           and [Registry.run_entry] record and replay completed work *)
+  online : bool;
+      (** churn experiments (E9, E14) maintain their survivor
+          certificates incrementally via {!Fn_online.Engine} instead
+          of re-running Prune per snapshot; off by default — the
+          default path stays byte-identical *)
 }
 (** The single argument every experiment's [run] takes (the old
     [?quick ?seed] optional pair, made explicit and extensible). *)
 
 val default : config
 (** [{quick = false; seed = 0; domains = None; obs = Sink.null;
-    resilience = Fn_resilience.Policy.default; journal = None}] *)
+    resilience = Fn_resilience.Policy.default; journal = None;
+    online = false}] *)
 
 val config :
   ?quick:bool ->
@@ -30,6 +36,7 @@ val config :
   ?obs:Fn_obs.Sink.t ->
   ?resilience:Fn_resilience.Policy.t ->
   ?journal:Fn_resilience.Journal.t ->
+  ?online:bool ->
   unit ->
   config
 (** Keyword constructor over {!default}. *)

@@ -3,6 +3,63 @@ open Fn_prng
 
 type snapshot = { time : float; faults : Fault_set.t }
 
+type event = Fault of int | Repair of int
+
+type batch_error =
+  | Out_of_range of int
+  | Fault_of_faulty of int
+  | Repair_of_alive of int
+
+let event_node = function Fault v | Repair v -> v
+
+let error_to_string = function
+  | Out_of_range v -> Printf.sprintf "node %d out of range" v
+  | Fault_of_faulty v -> Printf.sprintf "fault of already-faulty node %d" v
+  | Repair_of_alive v -> Printf.sprintf "repair of alive node %d" v
+
+(* Last-write-wins coalescing keyed by node: the surviving event for a
+   node is its last occurrence, emitted at that occurrence's position,
+   so the normalized batch preserves the input's relative order of
+   *final* intents.  Validation runs on the coalesced batch against
+   the pre-batch mask — [Fault v; Repair v] on an alive [v] coalesces
+   to [Repair v] and is rejected as [Repair_of_alive]. *)
+let normalize_batch ~n ~faulty events =
+  let arr = Array.of_list events in
+  let last = Hashtbl.create (2 * max 1 (Array.length arr)) in
+  let range_err = ref None in
+  Array.iteri
+    (fun i ev ->
+      let v = event_node ev in
+      if v < 0 || v >= n then begin
+        if Option.is_none !range_err then range_err := Some (Out_of_range v)
+      end
+      else Hashtbl.replace last v i)
+    arr;
+  match !range_err with
+  | Some e -> Error e
+  | None ->
+    let err = ref None in
+    let out = ref [] in
+    Array.iteri
+      (fun i ev ->
+        if Option.is_none !err then begin
+          let v = event_node ev in
+          if (match Hashtbl.find_opt last v with Some j -> j = i | None -> false) then
+            match ev with
+            | Fault v when Bitset.mem faulty v -> err := Some (Fault_of_faulty v)
+            | Repair v when not (Bitset.mem faulty v) -> err := Some (Repair_of_alive v)
+            | ev -> out := ev :: !out
+        end)
+      arr;
+    (match !err with Some e -> Error e | None -> Ok (List.rev !out))
+
+let apply_batch ~faulty events =
+  List.iter
+    (function
+      | Fault v -> Bitset.add faulty v
+      | Repair v -> Bitset.remove faulty v)
+    events
+
 let stationary_dead_fraction ~rate_fail ~rate_repair =
   if rate_fail < 0.0 || rate_repair <= 0.0 then
     invalid_arg "Churn.stationary_dead_fraction: need rate_fail >= 0, rate_repair > 0";

@@ -17,6 +17,35 @@ type snapshot = {
   faults : Fault_set.t;
 }
 
+type event = Fault of int | Repair of int
+(** One discrete churn step against a live fault mask: [Fault v] kills
+    an alive node, [Repair v] revives a faulty one. *)
+
+type batch_error =
+  | Out_of_range of int  (** node id outside [0, n) *)
+  | Fault_of_faulty of int  (** faulting a node that is already dead *)
+  | Repair_of_alive of int  (** repairing a node that is not dead *)
+
+val event_node : event -> int
+
+val error_to_string : batch_error -> string
+
+val normalize_batch :
+  n:int -> faulty:Bitset.t -> event list -> (event list, batch_error) result
+(** Coalesce and validate one batch against the pre-batch fault mask.
+    Repeated events on the same node coalesce last-write-wins (the
+    surviving event keeps the position of its last occurrence); the
+    coalesced batch is then checked against [faulty], rejecting
+    fault-of-already-faulty and repair-of-alive with a typed error
+    instead of silently proceeding.  Out-of-range ids are rejected
+    first, in input order.  Note the coalescing consequence:
+    [Fault v; Repair v] on an alive [v] normalizes to [Repair v] and
+    is therefore rejected as [Repair_of_alive]. *)
+
+val apply_batch : faulty:Bitset.t -> event list -> unit
+(** Flip a *normalized* batch into the fault mask in place.  Only
+    legal on the output of {!normalize_batch} for the same mask. *)
+
 val stationary_dead_fraction : rate_fail:float -> rate_repair:float -> float
 
 val simulate :

@@ -151,6 +151,27 @@ let disjoint a b =
   done;
   !ok
 
+let lowest_bit_index =
+  let rec idx b k = if b land 1 = 1 then k else idx (b lsr 1) (k + 1) in
+  fun b -> idx b 0
+
+let next_member t i =
+  if i < 0 then invalid_arg "Bitset.next_member: negative start";
+  if i >= t.n then None
+  else begin
+    let wc = word_count t.n in
+    let w0 = i / bits_per_word in
+    (* mask off the bits below [i] in the first word, then scan *)
+    let rec scan w masked =
+      if w >= wc then None
+      else
+        let word = if masked then t.words.(w) land lnot ((1 lsl (i mod bits_per_word)) - 1) else t.words.(w) in
+        if word = 0 then scan (w + 1) false
+        else Some ((w * bits_per_word) + lowest_bit_index (word land -word))
+    in
+    scan w0 true
+  end
+
 let choose t =
   let found = ref None in
   (try

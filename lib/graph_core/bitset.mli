@@ -63,4 +63,11 @@ val disjoint : t -> t -> bool
 val choose : t -> int option
 (** Smallest member, if any; O(words). *)
 
+val next_member : t -> int -> int option
+(** [next_member t i] is the smallest member >= [i], if any; O(words)
+    from the word containing [i].  Lets callers scan members in
+    ascending order while skipping some — resume with [i = v + 1] —
+    without the closure-and-exception cost of {!iter}.  Requires
+    [i >= 0]; any [i >= n] yields [None]. *)
+
 val pp : Format.formatter -> t -> unit

@@ -535,51 +535,89 @@ let all =
 
 let find name = List.find_opt (fun r -> r.name = name) all
 
-type allow = Prefix of string | Basename of string
+type pattern = Prefix of string | Basename of string
+type allow = { pattern : pattern; why : string }
 
-(* Paths where a rule does not apply at all, with the reason recorded
-   here rather than scattered through the tree. *)
+let prefix p why = { pattern = Prefix p; why }
+let base b why = { pattern = Basename b; why }
+
+(* Paths where a rule does not apply at all.  Every exemption carries
+   its reason as data, so `lint --explain RULE` can print not just
+   where a rule is off but why — the record replaces the comments that
+   used to sit next to each entry. *)
 let allowlist =
   [
-    (* the PRNG library is the one place allowed to touch Random, to
-       seed/splitmix on top of it *)
-    ("no-global-random", [ Prefix "lib/prng/" ]);
-    (* designated reporter modules: rendering tables / experiment
-       outcomes to stdout is their whole job *)
-    ("no-print-in-lib", [ Basename "table.ml"; Basename "report.ml"; Basename "outcome.ml" ]);
-    (* the observability clock is the one legal wrapper over the raw
-       OS clock; everything else times through it.  Notably the
-       benchmark engine (lib/bench) and harness (bench/) are NOT
-       allowlisted: benchmark timing must read Fn_obs.Clock so bench
-       numbers and observability spans share one clock. *)
-    ("no-raw-timing", [ Prefix "lib/obs/" ]);
-    (* the only flat-array kernels: check.ml walks the raw CSR to
-       validate its invariants (sortedness, symmetry — the thing the
-       accessors assume), and routing/sim.ml's arc-indexed queues are
-       keyed by CSR edge positions, which have no Gview analogue *)
+    ( "no-global-random",
+      [
+        prefix "lib/prng/"
+          "the PRNG library is the one place allowed to touch Random, to seed/splitmix \
+           on top of it";
+      ] );
+    ( "no-print-in-lib",
+      let why =
+        "designated reporter module: rendering tables / experiment outcomes to stdout \
+         is its whole job"
+      in
+      [ base "table.ml" why; base "report.ml" why; base "outcome.ml" why ] );
+    ( "no-raw-timing",
+      [
+        prefix "lib/obs/"
+          "the observability clock is the one legal wrapper over the raw OS clock; \
+           everything else (including lib/bench and bench/, deliberately NOT listed \
+           here) times through Fn_obs.Clock so bench numbers and spans share one clock";
+      ] );
     ( "no-raw-csr-outside-kernels",
-      [ Prefix "lib/graph_core/check.ml"; Prefix "lib/routing/sim.ml" ] );
-    (* lib/obs/span.ml defines and internally calls its own [exit]
-       (closing a span); that shadowed name is not Stdlib.exit *)
-    ("no-exit-in-lib", [ Basename "span.ml" ]);
-    (* lib/parallel implements the blessed primitives themselves: its
-       fork-join plumbing writes disjoint per-chunk slots and takes the
-       pool mutex by construction, which is exactly what these rules
-       tell everyone else to reach for *)
-    ("par-capture-mutation", [ Prefix "lib/parallel/" ]);
-    ("par-float-reduce", [ Prefix "lib/parallel/" ]);
-    ("rng-unsplit-in-par", [ Prefix "lib/parallel/" ]);
-    (* lib/obs/span.ml's per-domain span stack is the one sanctioned
-       Domain.DLS use (the rule's own doc says so) *)
-    ("dls-outside-obs", [ Prefix "lib/obs/" ]);
+      [
+        prefix "lib/graph_core/check.ml"
+          "walks the raw CSR to validate its invariants (sortedness, symmetry — the \
+           thing the accessors assume)";
+        prefix "lib/routing/sim.ml"
+          "arc-indexed queues are keyed by CSR edge positions, which have no Gview \
+           analogue";
+      ] );
+    ( "no-exit-in-lib",
+      [
+        base "span.ml"
+          "defines and internally calls its own [exit] (closing a span); that shadowed \
+           name is not Stdlib.exit";
+      ] );
+    ( "par-capture-mutation",
+      [
+        prefix "lib/parallel/"
+          "implements the blessed primitives themselves: fork-join plumbing writes \
+           disjoint per-chunk slots by construction";
+      ] );
+    ( "par-float-reduce",
+      [
+        prefix "lib/parallel/"
+          "defines the ordered-reduce primitives the rule tells everyone else to reach \
+           for";
+      ] );
+    ( "rng-unsplit-in-par",
+      [
+        prefix "lib/parallel/"
+          "the split-RNG plumbing itself lives here; it hands each chunk its own \
+           stream";
+      ] );
+    ( "dls-outside-obs",
+      [
+        prefix "lib/obs/"
+          "the per-domain span stack is the one sanctioned Domain.DLS use (the rule's \
+           own doc says so)";
+      ] );
   ]
+
+let matches path = function
+  | Prefix p -> starts_with ~prefix:p path
+  | Basename b -> basename path = b
 
 let allowed ~rule ~path =
   match List.assoc_opt rule allowlist with
   | None -> false
-  | Some pats ->
-      List.exists
-        (function
-          | Prefix p -> starts_with ~prefix:p path
-          | Basename b -> basename path = b)
-        pats
+  | Some entries -> List.exists (fun a -> matches path a.pattern) entries
+
+let allow_reason ~rule ~path =
+  match List.assoc_opt rule allowlist with
+  | None -> None
+  | Some entries ->
+      List.find_map (fun a -> if matches path a.pattern then Some a.why else None) entries

@@ -45,13 +45,20 @@ val dls_outside_obs : Rule.t
 val all : Rule.t list
 val find : string -> Rule.t option
 
-type allow = Prefix of string | Basename of string
+type pattern = Prefix of string | Basename of string
+
+type allow = { pattern : pattern; why : string }
+(** One path exemption and the reason it exists.  The rationale is
+    data, not a comment: [lint --explain RULE] prints it next to each
+    exempted path. *)
 
 val allowlist : (string * allow list) list
-(** Per-rule path exemptions, with the rationale kept next to each
-    entry in the implementation. *)
+(** Per-rule path exemptions. *)
 
 val allowed : rule:string -> path:string -> bool
+
+val allow_reason : rule:string -> path:string -> string option
+(** The [why] of the first exemption matching [path], if any. *)
 
 (** Shared path helpers. *)
 

@@ -1,0 +1,80 @@
+open Fn_graph
+
+(** Incremental Prune survivor certificates.
+
+    Maintains, under batched churn, the state needed to answer "what
+    does Prune(ε) keep?" without re-running it from scratch: for every
+    alive node [v] a radius-r ball survey — [s = |B_r(v)|] alive nodes
+    within distance r in the alive subgraph, [b = |Γ(B_r(v))|] its
+    node boundary — and the bit "does [v]'s ball meet the ratio bound
+    [b <= α·ε·s]".  A churn batch only re-surveys nodes within
+    unrestricted distance r + 1 of a change (the locality lemma:
+    a ball survey reads aliveness only that far from its center), so
+    steady-state cost per event is proportional to the dirty region,
+    not to n.
+
+    Culling is deferred: {!result} runs the Prune cascade lazily over
+    the maintained candidates — demoting survivors swallowed by a
+    culled ball, re-promoting none (culls only shrink the mask) — and
+    caches it until the next batch.  The defining property, enforced
+    by the differential tests: after {e any} event sequence, {!result}
+    equals {!scratch} on the same mask, field for field.
+
+    The finder both paths share scans alive nodes in ascending id
+    order and culls the first qualifying ball, so the reference is
+    deterministic and rng-free. *)
+
+type t
+
+val create : ?radius:int -> Gview.t -> alive:Bitset.t -> alpha:float -> epsilon:float -> t
+(** Full initial survey: O(n · ball).  [radius] defaults to 2 (must be
+    >= 1); threshold is [alpha *. epsilon] exactly as in
+    {!Faultnet.Prune}.  [alive] is copied — the certificate owns its
+    mask and callers mutate theirs freely. *)
+
+val universe : t -> int
+val radius : t -> int
+val threshold : t -> float
+
+val alive : t -> Bitset.t
+(** Copy of the current mask. *)
+
+val alive_count : t -> int
+
+val recomputed : t -> int
+(** Ball surveys performed since creation (initial survey included) —
+    the work counter behind the engine's stats. *)
+
+val dirty_peak : t -> int
+(** Largest dirty region any single batch produced. *)
+
+val last_dirty : t -> int
+(** Dirty-region size of the most recent batch. *)
+
+val apply : t -> Event.t list -> unit
+(** Apply a normalized batch (see
+    {!Fn_faults.Churn.normalize_batch}; this module trusts its
+    caller): flip aliveness, re-survey the dirty region, invalidate
+    the cached cascade.  An empty batch is a no-op. *)
+
+val result : t -> Faultnet.Prune.result
+(** The Prune cascade over the current mask, cached until the next
+    {!apply}.  Treat as read-only — the cache shares structure across
+    calls. *)
+
+val set_result : t -> Faultnet.Prune.result -> unit
+(** Replace the cached cascade — the audit's reconciliation hook. *)
+
+val scratch_finder : ?radius:int -> Gview.t -> Faultnet.Low_expansion.t_v
+(** The ascending-scan radius-bounded ball finder, as a Prune oracle. *)
+
+val scratch :
+  ?radius:int ->
+  ?obs:Fn_obs.Sink.t ->
+  Gview.t ->
+  alive:Bitset.t ->
+  alpha:float ->
+  epsilon:float ->
+  Faultnet.Prune.result
+(** From-scratch reference: [Prune.run_v] with {!scratch_finder}.
+    {!result} must equal this on the same mask. *)

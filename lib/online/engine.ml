@@ -1,0 +1,218 @@
+open Fn_graph
+
+type config = {
+  seed : int;
+  radius : int;
+  alpha : float;
+  epsilon : float;
+  mode : Warm.mode;
+  audit_every : int;
+  domains : int option;
+  obs : Fn_obs.Sink.t;
+}
+
+let default_config =
+  {
+    seed = 0;
+    radius = 2;
+    alpha = 0.5;
+    epsilon = 0.5;
+    mode = Warm.Exact;
+    audit_every = 0;
+    domains = None;
+    obs = Fn_obs.Sink.null;
+  }
+
+type audit_report = {
+  kept_equal : bool;
+  culled_equal : bool;
+  iterations_equal : bool;
+  alpha_equal : bool;
+  faults : int;
+}
+
+type stats = {
+  events : int;
+  batches : int;
+  rejected : int;
+  audits : int;
+  divergences : int;
+  surveys : int;
+  dirty_peak : int;
+  alpha_computes : int;
+  warm_hits : int;
+  cold_falls : int;
+}
+
+type t = {
+  cfg : config;
+  view : Gview.t;
+  n : int;
+  cert : Cert.t;
+  warm : Warm.t;
+  faulty : Bitset.t;
+  mutable events : int;
+  mutable batches : int;
+  mutable rejected : int;
+  mutable audits : int;
+  mutable divergences : int;
+}
+
+let create ?(cfg = default_config) view =
+  let n = Gview.num_nodes view in
+  let alive = Bitset.create_full n in
+  {
+    cfg;
+    view;
+    n;
+    cert =
+      Cert.create ~radius:cfg.radius view ~alive ~alpha:cfg.alpha ~epsilon:cfg.epsilon;
+    warm = Warm.create ~mode:cfg.mode ?domains:cfg.domains cfg.seed;
+    faulty = Bitset.create n;
+    events = 0;
+    batches = 0;
+    rejected = 0;
+    audits = 0;
+    divergences = 0;
+  }
+
+let config t = t.cfg
+let universe t = t.n
+let view t = t.view
+let alive_mask t = Cert.alive t.cert
+let alive_count t = Cert.alive_count t.cert
+let faulty_mask t = Bitset.copy t.faulty
+
+let is_alive t v =
+  if v < 0 || v >= t.n then invalid_arg "Engine.is_alive: node out of range";
+  not (Bitset.mem t.faulty v)
+
+let result t = Cert.result t.cert
+let alpha t = Warm.query t.warm t.view ~kept:(result t).Faultnet.Prune.kept
+
+let in_certificate t v =
+  if v < 0 || v >= t.n then invalid_arg "Engine.in_certificate: node out of range";
+  Bitset.mem (result t).Faultnet.Prune.kept v
+
+let culled_eq a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Faultnet.Prune.culled) (y : Faultnet.Prune.culled) ->
+         x.size = y.size && x.boundary = y.boundary && Bitset.equal x.set y.set)
+       a b
+
+(* Full-recompute audit: rerun Prune from scratch on the current mask,
+   compare every field against the incremental state, then adopt the
+   scratch truth (cascade cache and alpha cache both reconciled).  In
+   Exact mode any divergence is a bug — the differential tests assert
+   zero; in Warm mode alpha divergences are the expected price of
+   warm starts and this is where they are measured and repaired. *)
+let audit t =
+  let inc = Cert.result t.cert in
+  let mask = Cert.alive t.cert in
+  let scr =
+    Cert.scratch ~radius:t.cfg.radius t.view ~alive:mask ~alpha:t.cfg.alpha
+      ~epsilon:t.cfg.epsilon
+  in
+  let a_inc = Warm.query t.warm t.view ~kept:inc.Faultnet.Prune.kept in
+  let a_scr =
+    Warm.reference ~seed:t.cfg.seed ?domains:t.cfg.domains t.view
+      ~kept:scr.Faultnet.Prune.kept
+  in
+  let kept_equal = Bitset.equal inc.Faultnet.Prune.kept scr.Faultnet.Prune.kept in
+  let culled_equal = culled_eq inc.Faultnet.Prune.culled scr.Faultnet.Prune.culled in
+  let iterations_equal = inc.Faultnet.Prune.iterations = scr.Faultnet.Prune.iterations in
+  let alpha_equal = Int64.equal (Int64.bits_of_float a_inc) (Int64.bits_of_float a_scr) in
+  let faults =
+    (if kept_equal then 0 else 1)
+    + (if culled_equal then 0 else 1)
+    + (if iterations_equal then 0 else 1)
+    + if alpha_equal then 0 else 1
+  in
+  t.audits <- t.audits + 1;
+  t.divergences <- t.divergences + faults;
+  Cert.set_result t.cert scr;
+  Warm.force t.warm ~kept:scr.Faultnet.Prune.kept a_scr;
+  let on = Fn_obs.Sink.enabled t.cfg.obs in
+  if on then begin
+    Fn_obs.Span.instant t.cfg.obs "online.audit"
+      ~fields:
+        [
+          ("faults", Fn_obs.Sink.Int faults);
+          ("kept", Fn_obs.Sink.Int (Bitset.cardinal scr.Faultnet.Prune.kept));
+        ];
+    Fn_obs.Metrics.incr (Fn_obs.Metrics.counter "online.audits");
+    if faults > 0 then
+      Fn_obs.Metrics.add (Fn_obs.Metrics.counter "online.divergences") faults
+  end;
+  { kept_equal; culled_equal; iterations_equal; alpha_equal; faults }
+
+let apply t events =
+  match Fn_faults.Churn.normalize_batch ~n:t.n ~faulty:t.faulty events with
+  | Error e ->
+    t.rejected <- t.rejected + 1;
+    Error e
+  | Ok evs ->
+    let on = Fn_obs.Sink.enabled t.cfg.obs in
+    let sp =
+      if on then
+        Fn_obs.Span.enter t.cfg.obs "online.apply"
+          ~fields:[ ("events", Fn_obs.Sink.Int (List.length evs)) ]
+      else Fn_obs.Span.null
+    in
+    Fn_faults.Churn.apply_batch ~faulty:t.faulty evs;
+    Cert.apply t.cert evs;
+    t.events <- t.events + List.length evs;
+    t.batches <- t.batches + 1;
+    if on then begin
+      Fn_obs.Metrics.add (Fn_obs.Metrics.counter "online.events") (List.length evs);
+      Fn_obs.Metrics.incr (Fn_obs.Metrics.counter "online.batches");
+      Fn_obs.Span.exit sp
+        ~fields:[ ("dirty", Fn_obs.Sink.Int (Cert.last_dirty t.cert)) ]
+    end;
+    if t.cfg.audit_every > 0 && t.batches mod t.cfg.audit_every = 0 then
+      ignore (audit t : audit_report);
+    Ok (List.length evs)
+
+let stats t =
+  {
+    events = t.events;
+    batches = t.batches;
+    rejected = t.rejected;
+    audits = t.audits;
+    divergences = t.divergences;
+    surveys = Cert.recomputed t.cert;
+    dirty_peak = Cert.dirty_peak t.cert;
+    alpha_computes = Warm.computes t.warm;
+    warm_hits = Warm.warm_hits t.warm;
+    cold_falls = Warm.cold_falls t.warm;
+  }
+
+(* FNV-1a over the replayable state: the fault mask, the cascade
+   (kept, every cull's size/boundary/members, iteration count), the
+   alpha bits, and the batch counters.  Process-local counters that a
+   journal replay cannot reproduce (rejections, cache hits, explicit
+   audits) are deliberately excluded — kill-and-resume must yield the
+   identical digest. *)
+let state_digest t =
+  let h = ref 0xcbf29ce484222325L in
+  let mix64 x = h := Int64.mul (Int64.logxor !h x) 0x100000001b3L in
+  let mix i = mix64 (Int64.of_int i) in
+  mix t.n;
+  Bitset.iter (fun v -> mix v) t.faulty;
+  mix (-1);
+  let r = result t in
+  Bitset.iter (fun v -> mix v) r.Faultnet.Prune.kept;
+  mix (-2);
+  List.iter
+    (fun (c : Faultnet.Prune.culled) ->
+      mix c.size;
+      mix c.boundary;
+      Bitset.iter (fun v -> mix v) c.set;
+      mix (-3))
+    r.Faultnet.Prune.culled;
+  mix r.Faultnet.Prune.iterations;
+  mix64 (Int64.bits_of_float (alpha t));
+  mix t.events;
+  mix t.batches;
+  Printf.sprintf "%016Lx" !h

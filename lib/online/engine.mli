@@ -1,0 +1,98 @@
+open Fn_graph
+
+(** The online faultnet engine: one live topology, a fault mask
+    evolving under batched churn, and always-current answers to
+    "is v alive?", "what does Prune keep?", "what is the survivor
+    expansion?" — maintained incrementally by {!Cert} and {!Warm}
+    instead of recomputed per query.
+
+    Determinism contract: in {!Warm.Exact} mode (the default) every
+    answer is a pure function of (view, config, accepted batch
+    sequence) — byte-identical to the from-scratch computation on the
+    same mask, which is exactly what {!audit} checks and the
+    differential tests assert.  {!Warm.Warm} mode trades that for
+    warm-started spectral estimates; its drift is measured and
+    repaired by the audit. *)
+
+type config = {
+  seed : int;  (** derives every rng the engine ever creates *)
+  radius : int;  (** certificate ball radius (default 2) *)
+  alpha : float;  (** design expansion α of the fault-free topology *)
+  epsilon : float;  (** Prune slack ε, threshold α·ε *)
+  mode : Warm.mode;
+  audit_every : int;  (** auto-audit period in batches; 0 disables *)
+  domains : int option;
+  obs : Fn_obs.Sink.t;
+}
+
+val default_config : config
+(** seed 0, radius 2, alpha 0.5, epsilon 0.5, Exact, no auto-audit,
+    sequential, null sink.  Use record update syntax. *)
+
+type audit_report = {
+  kept_equal : bool;
+  culled_equal : bool;
+  iterations_equal : bool;
+  alpha_equal : bool;  (** bitwise *)
+  faults : int;  (** divergent aspects, 0..4 *)
+}
+
+type stats = {
+  events : int;  (** accepted events (post-coalescing) *)
+  batches : int;  (** accepted batches *)
+  rejected : int;  (** rejected batches (process-local) *)
+  audits : int;
+  divergences : int;
+  surveys : int;  (** ball surveys since creation *)
+  dirty_peak : int;  (** largest single-batch dirty region *)
+  alpha_computes : int;
+  warm_hits : int;
+  cold_falls : int;
+}
+
+type t
+
+val create : ?cfg:config -> Gview.t -> t
+(** All nodes start alive; faults arrive as batches.  Creation pays
+    the one full survey (O(n · ball)); it does not estimate alpha. *)
+
+val config : t -> config
+val universe : t -> int
+val view : t -> Gview.t
+
+val alive_mask : t -> Bitset.t
+(** Copies. *)
+
+val faulty_mask : t -> Bitset.t
+val alive_count : t -> int
+val is_alive : t -> int -> bool
+
+val apply : t -> Event.t list -> (int, Fn_faults.Churn.batch_error) result
+(** Validate (against the live fault mask), coalesce, and apply one
+    batch; [Ok k] is the number of events after coalescing.  On
+    [Error] the engine state is untouched — invalid batches are
+    rejected atomically.  Triggers the auto-audit when
+    [audit_every > 0] divides the accepted-batch count. *)
+
+val result : t -> Faultnet.Prune.result
+(** The Prune cascade for the current mask (cached; read-only). *)
+
+val alpha : t -> float
+(** Survivor node expansion per the configured {!Warm.mode}. *)
+
+val in_certificate : t -> int -> bool
+(** Is [v] in the current survivor set [result.kept]? *)
+
+val audit : t -> audit_report
+(** Full recompute, field-by-field comparison, reconciliation (the
+    scratch result replaces the incremental caches).  Counted in
+    {!stats}. *)
+
+val stats : t -> stats
+
+val state_digest : t -> string
+(** FNV-1a hex digest of the replayable state: fault mask, cascade,
+    alpha bits, accepted event/batch counts.  Process-local counters
+    (rejections, cache hits, explicit audits) are excluded, so a
+    journal replay of the accepted batches reproduces the digest
+    exactly — the kill-and-resume contract. *)

@@ -1,0 +1,31 @@
+type t = Fn_faults.Churn.event =
+  | Fault of int
+  | Repair of int
+
+let to_token = function
+  | Fault v -> "f" ^ string_of_int v
+  | Repair v -> "r" ^ string_of_int v
+
+let of_token s =
+  let n = String.length s in
+  if n < 2 then None
+  else
+    match int_of_string_opt (String.sub s 1 (n - 1)) with
+    | None -> None
+    | Some v -> (
+      match s.[0] with 'f' -> Some (Fault v) | 'r' -> Some (Repair v) | _ -> None)
+
+let batch_to_json events =
+  Fn_obs.Jsonx.List (List.map (fun e -> Fn_obs.Jsonx.Str (to_token e)) events)
+
+let batch_of_json json =
+  match json with
+  | Fn_obs.Jsonx.List items ->
+    let rec decode acc = function
+      | [] -> Some (List.rev acc)
+      | Fn_obs.Jsonx.Str s :: rest -> (
+        match of_token s with Some e -> decode (e :: acc) rest | None -> None)
+      | _ -> None
+    in
+    decode [] items
+  | _ -> None

@@ -1,0 +1,25 @@
+(** Online churn events: the {!Fn_faults.Churn.event} type plus the
+    wire and journal codecs the serving layer speaks.
+
+    The type equation re-exports the constructors, so online callers
+    build [Fault v] / [Repair v] directly and every batch handed to
+    the engine is validated against the live fault mask by
+    {!Fn_faults.Churn.normalize_batch} — fault-of-already-faulty and
+    repair-of-alive are typed errors, never silent no-ops. *)
+
+type t = Fn_faults.Churn.event =
+  | Fault of int
+  | Repair of int
+
+val to_token : t -> string
+(** Wire token: [f12] / [r12] — what [apply f12 r3] lines and journal
+    rows carry. *)
+
+val of_token : string -> t option
+
+val batch_to_json : t list -> Fn_obs.Jsonx.t
+(** Journal row payload: a JSON array of wire tokens.  Exact
+    round-trip with {!batch_of_json} — resume replays the identical
+    batch. *)
+
+val batch_of_json : Fn_obs.Jsonx.t -> t list option

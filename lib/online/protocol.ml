@@ -1,0 +1,56 @@
+type command =
+  | Alive of int
+  | Certificate of int
+  | Alpha
+  | Apply of Event.t list
+  | Stats
+  | Audit
+  | State
+  | Quit
+
+let float_hex f = Printf.sprintf "%h" f
+
+let render = function
+  | Alive v -> "alive? " ^ string_of_int v
+  | Certificate v -> "certificate? " ^ string_of_int v
+  | Alpha -> "alpha?"
+  | Apply evs -> "apply " ^ String.concat " " (List.map Event.to_token evs)
+  | Stats -> "stats?"
+  | Audit -> "audit!"
+  | State -> "state?"
+  | Quit -> "quit"
+
+let tokens line =
+  List.filter (fun s -> String.length s > 0) (String.split_on_char ' ' line)
+
+let node_arg word v k =
+  match int_of_string_opt v with
+  | Some v -> Ok (Some (k v))
+  | None -> Error (Printf.sprintf "%s needs a node id, got %S" word v)
+
+let parse line =
+  let line = String.trim line in
+  if String.length line = 0 || line.[0] = '#' then Ok None
+  else
+    match tokens line with
+    | [] -> Ok None
+    | [ "alive?"; v ] -> node_arg "alive?" v (fun v -> Alive v)
+    | [ "certificate?"; v ] -> node_arg "certificate?" v (fun v -> Certificate v)
+    | [ "alpha?" ] -> Ok (Some Alpha)
+    | [ "stats?" ] -> Ok (Some Stats)
+    | [ "state?" ] -> Ok (Some State)
+    | [ "audit!" ] -> Ok (Some Audit)
+    | [ "quit" ] -> Ok (Some Quit)
+    | "apply" :: evs -> (
+      match evs with
+      | [] -> Error "apply needs at least one f<id>/r<id> event"
+      | _ :: _ ->
+        let rec decode acc = function
+          | [] -> Ok (Some (Apply (List.rev acc)))
+          | tok :: rest -> (
+            match Event.of_token tok with
+            | Some e -> decode (e :: acc) rest
+            | None -> Error (Printf.sprintf "bad event token %S (want f<id>/r<id>)" tok))
+        in
+        decode [] evs)
+    | cmd :: _ -> Error (Printf.sprintf "unknown command %S" cmd)

@@ -1,0 +1,37 @@
+(** The faultnetd line protocol, as pure parse/render functions.
+
+    One command per line; replies are single lines starting with [ok]
+    or [err].  Blank lines and [#] comments are ignored — scripted
+    sessions (the [@online-smoke] script) are plain text files.
+
+    {v
+    alive? <v>          ok true|false
+    certificate? <v>    ok true|false          (is v a Prune survivor?)
+    alpha?              ok <hex float>         (%h — byte-exact)
+    apply f<v> r<v> ... ok applied=<k> alive=<a>   or  err <reason>
+    stats?              ok events=... batches=... ...
+    audit!              ok kept=... alpha=... faults=<k>
+    state?              ok digest=<fnv64 hex>
+    quit                ok bye
+    v} *)
+
+type command =
+  | Alive of int
+  | Certificate of int
+  | Alpha
+  | Apply of Event.t list
+  | Stats
+  | Audit
+  | State
+  | Quit
+
+val parse : string -> (command option, string) result
+(** [Ok None] for blank/comment lines; [Error] is the reason echoed in
+    the [err] reply.  [parse (render c) = Ok (Some c)] for every
+    command. *)
+
+val render : command -> string
+(** Canonical wire form. *)
+
+val float_hex : float -> string
+(** ["%h"] — the byte-exact rendering every float reply uses. *)

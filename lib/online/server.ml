@@ -1,0 +1,191 @@
+open Fn_graph
+
+type outcome = { reply : string option; quit : bool }
+
+let scope = "online.batch"
+let reply s = { reply = Some s; quit = false }
+
+let dispatch ?on_batch engine cmd =
+  let n = Engine.universe engine in
+  let range_ok v = v >= 0 && v < n in
+  match cmd with
+  | Protocol.Quit -> { reply = Some "ok bye"; quit = true }
+  | Protocol.Alive v ->
+    if range_ok v then reply ("ok " ^ string_of_bool (Engine.is_alive engine v))
+    else reply (Printf.sprintf "err node %d out of range" v)
+  | Protocol.Certificate v ->
+    if range_ok v then reply ("ok " ^ string_of_bool (Engine.in_certificate engine v))
+    else reply (Printf.sprintf "err node %d out of range" v)
+  | Protocol.Alpha -> reply ("ok " ^ Protocol.float_hex (Engine.alpha engine))
+  | Protocol.State -> reply ("ok digest=" ^ Engine.state_digest engine)
+  | Protocol.Stats ->
+    let s = Engine.stats engine in
+    reply
+      (Printf.sprintf
+         "ok events=%d batches=%d rejected=%d audits=%d divergences=%d surveys=%d \
+          dirty_peak=%d alpha_computes=%d warm_hits=%d cold_falls=%d"
+         s.Engine.events s.Engine.batches s.Engine.rejected s.Engine.audits
+         s.Engine.divergences s.Engine.surveys s.Engine.dirty_peak s.Engine.alpha_computes
+         s.Engine.warm_hits s.Engine.cold_falls)
+  | Protocol.Audit ->
+    let r = Engine.audit engine in
+    reply
+      (Printf.sprintf "ok kept=%b culled=%b iterations=%b alpha=%b faults=%d"
+         r.Engine.kept_equal r.Engine.culled_equal r.Engine.iterations_equal
+         r.Engine.alpha_equal r.Engine.faults)
+  | Protocol.Apply evs -> (
+    match Engine.apply engine evs with
+    | Error e -> reply ("err " ^ Fn_faults.Churn.error_to_string e)
+    | Ok k ->
+      (match on_batch with Some f -> f evs | None -> ());
+      reply (Printf.sprintf "ok applied=%d alive=%d" k (Engine.alive_count engine)))
+
+let handle ?on_batch engine line =
+  match Protocol.parse line with
+  | Ok None -> { reply = None; quit = false }
+  | Error msg -> reply ("err " ^ msg)
+  | Ok (Some cmd) ->
+    let obs = (Engine.config engine).Engine.obs in
+    if Fn_obs.Sink.enabled obs then begin
+      let since_ns = Fn_obs.Clock.now_ns () in
+      let out = dispatch ?on_batch engine cmd in
+      Fn_obs.Metrics.observe
+        (Fn_obs.Metrics.histogram "online.command_seconds")
+        (Fn_obs.Clock.elapsed_s ~since_ns);
+      out
+    end
+    else dispatch ?on_batch engine cmd
+
+let run_loop ?on_batch engine ic oc =
+  let quit = ref false in
+  (try
+     while not !quit do
+       let line = input_line ic in
+       let out = handle ?on_batch engine line in
+       (match out.reply with
+       | Some s ->
+         output_string oc s;
+         output_char oc '\n';
+         flush oc
+       | None -> ());
+       if out.quit then quit := true
+     done
+   with End_of_file -> ());
+  Ok ()
+
+let serve ?journal ?(resume = false) ?(meta = []) engine ic oc =
+  match journal with
+  | None -> run_loop engine ic oc
+  | Some path ->
+    let cfg = Engine.config engine in
+    (* Bind the journal to everything that determines replay results:
+       replaying these batches into an engine built with different
+       parameters would silently splice two different sessions. *)
+    let meta =
+      meta
+      @ [
+          ("service", Fn_obs.Jsonx.Str "faultnetd");
+          ("seed", Fn_obs.Jsonx.Int cfg.Engine.seed);
+          ("n", Fn_obs.Jsonx.Int (Engine.universe engine));
+          ("radius", Fn_obs.Jsonx.Int cfg.Engine.radius);
+          ("alpha", Fn_obs.Jsonx.Str (Protocol.float_hex cfg.Engine.alpha));
+          ("epsilon", Fn_obs.Jsonx.Str (Protocol.float_hex cfg.Engine.epsilon));
+          ("mode", Fn_obs.Jsonx.Str (Warm.mode_to_string cfg.Engine.mode));
+          ("audit_every", Fn_obs.Jsonx.Int cfg.Engine.audit_every);
+        ]
+    in
+    (match Fn_resilience.Journal.open_ ~path ~meta with
+    | Error m -> Error m
+    | Ok j ->
+      Fun.protect
+        ~finally:(fun () -> Fn_resilience.Journal.close j)
+        (fun () ->
+          if Fn_resilience.Journal.recovered j > 0 && not resume then
+            Error
+              (path
+             ^ " already holds a recorded session; pass resume to replay and continue it")
+          else begin
+            let next = ref 0 in
+            let failure = ref None in
+            let running = ref true in
+            while !running do
+              match Fn_resilience.Journal.find_trial j ~scope ~index:!next with
+              | None -> running := false
+              | Some json -> (
+                match Event.batch_of_json json with
+                | None ->
+                  failure :=
+                    Some (Printf.sprintf "journal record %d is not an event batch" !next);
+                  running := false
+                | Some evs -> (
+                  match Engine.apply engine evs with
+                  | Error e ->
+                    failure :=
+                      Some
+                        (Printf.sprintf "journal replay rejected batch %d: %s" !next
+                           (Fn_faults.Churn.error_to_string e));
+                    running := false
+                  | Ok _ -> incr next))
+            done;
+            match !failure with
+            | Some m -> Error m
+            | None ->
+              let on_batch evs =
+                Fn_resilience.Journal.record_trial j ~scope ~index:!next
+                  (Event.batch_to_json evs);
+                incr next
+              in
+              run_loop ~on_batch engine ic oc
+          end))
+
+let parse_dims s =
+  let parts = String.split_on_char 'x' s in
+  let dims = List.filter_map int_of_string_opt parts in
+  if List.length dims = List.length parts && dims <> [] && List.for_all (fun d -> d > 0) dims
+  then Some (Array.of_list dims)
+  else None
+
+(* Topology specs for the serving layer: the CSR family the CLI
+   generates, plus i-prefixed implicit variants that scale the daemon
+   to 10^6+ nodes without materializing an edge set. *)
+let view_of_spec rng spec =
+  let int_arg name v k =
+    match int_of_string_opt v with
+    | Some v when v > 0 -> k v
+    | _ -> Error (Printf.sprintf "%s wants a positive int, got %S" name v)
+  in
+  match String.split_on_char ':' spec with
+  | [ "itorus"; dims ] -> (
+    match parse_dims dims with
+    | Some d -> Ok (Fn_topology.Implicit.torus d)
+    | None -> Error "itorus dims must look like 1000x1000")
+  | [ "imesh"; dims ] -> (
+    match parse_dims dims with
+    | Some d -> Ok (Fn_topology.Implicit.mesh d)
+    | None -> Error "imesh dims must look like 1000x1000")
+  | [ "ihypercube"; d ] ->
+    int_arg "ihypercube" d (fun d -> Ok (Fn_topology.Implicit.hypercube d))
+  | [ "mesh"; dims ] -> (
+    match parse_dims dims with
+    | Some d -> Ok (Gview.Csr (fst (Fn_topology.Mesh.graph d)))
+    | None -> Error "mesh dims must look like 8x8")
+  | [ "torus"; dims ] -> (
+    match parse_dims dims with
+    | Some d -> Ok (Gview.Csr (fst (Fn_topology.Torus.graph d)))
+    | None -> Error "torus dims must look like 8x8")
+  | [ "hypercube"; d ] ->
+    int_arg "hypercube" d (fun d -> Ok (Gview.Csr (Fn_topology.Hypercube.graph d)))
+  | [ "debruijn"; k ] ->
+    int_arg "debruijn" k (fun k -> Ok (Gview.Csr (Fn_topology.Debruijn.graph k)))
+  | [ "complete"; n ] ->
+    int_arg "complete" n (fun n -> Ok (Gview.Csr (Fn_topology.Basic.complete n)))
+  | [ "cycle"; n ] ->
+    int_arg "cycle" n (fun n -> Ok (Gview.Csr (Fn_topology.Basic.cycle n)))
+  | [ "expander"; n; d ] ->
+    int_arg "expander" n (fun n ->
+        int_arg "expander" d (fun d ->
+            Ok (Gview.Csr (Fn_topology.Expander.random_regular rng ~n ~d))))
+  | _ ->
+    Error
+      "unknown topology; try itorus:1000x1000 imesh:100x100 ihypercube:20 mesh:8x8 \
+       torus:16x16 hypercube:10 debruijn:8 complete:64 cycle:100 expander:256:6"

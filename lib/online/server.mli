@@ -1,0 +1,54 @@
+open Fn_graph
+open Fn_prng
+
+(** Serving layer: the {!Protocol} wired to an {!Engine} over line
+    channels, with optional journaling for kill-and-resume.
+
+    Every accepted batch is journaled (scope ["online.batch"], dense
+    indices) {e after} it is applied and {e before} the reply is sent,
+    so a kill at any point loses at most the batch whose reply the
+    client never saw.  Resume replays the journaled batches through a
+    fresh engine — batch normalization and the Exact-mode estimates
+    are pure functions of the replayed history, so the resumed
+    process answers [state?] with the digest the uninterrupted one
+    would have. *)
+
+type outcome = { reply : string option; quit : bool }
+(** [reply = None] for ignored lines (blank, comment). *)
+
+val handle : ?on_batch:(Event.t list -> unit) -> Engine.t -> string -> outcome
+(** Process one line.  [on_batch] fires on each accepted [apply] with
+    the raw batch (journal hook).  With an enabled obs sink each
+    command's latency lands in the ["online.command_seconds"]
+    histogram.  Exposed so tests and benchmarks can drive a session
+    without pipes or processes. *)
+
+val run_loop :
+  ?on_batch:(Event.t list -> unit) ->
+  Engine.t ->
+  in_channel ->
+  out_channel ->
+  (unit, string) result
+(** Read lines until [quit] or EOF, replying on [oc] (flushed per
+    line). *)
+
+val serve :
+  ?journal:string ->
+  ?resume:bool ->
+  ?meta:(string * Fn_obs.Jsonx.t) list ->
+  Engine.t ->
+  in_channel ->
+  out_channel ->
+  (unit, string) result
+(** {!run_loop} with journaling.  [journal] names the JSONL file; its
+    meta header binds seed, universe, radius, alpha, epsilon, mode and
+    audit period (plus caller [meta], e.g. the topology spec) — a
+    mismatched reopen is refused, as is an existing journal without
+    [resume].  With [resume] the recorded batches are replayed into
+    [engine] (which must be freshly created) before serving begins. *)
+
+val view_of_spec : Rng.t -> string -> (Gview.t, string) result
+(** Topology specs accepted by the daemon: the CLI's generated CSR
+    family plus implicit [itorus:AxB] / [imesh:AxB] / [ihypercube:d]
+    for 10^6+-node instances.  [rng] only feeds randomized
+    constructions (expander). *)

@@ -107,6 +107,23 @@ let prop_fold_counts =
       let s = Bitset.of_list n xs in
       Bitset.fold (fun _ acc -> acc + 1) s 0 = Bitset.cardinal s)
 
+let test_next_member () =
+  let s = Bitset.of_list 200 [ 0; 5; 62; 63; 64; 126; 199 ] in
+  check_bool "from 0" true (Bitset.next_member s 0 = Some 0);
+  check_bool "past a member" true (Bitset.next_member s 1 = Some 5);
+  check_bool "word boundary" true (Bitset.next_member s 63 = Some 63);
+  check_bool "across words" true (Bitset.next_member s 65 = Some 126);
+  check_bool "last" true (Bitset.next_member s 199 = Some 199);
+  check_bool "exhausted" true (Bitset.next_member s 200 = None);
+  check_bool "empty" true (Bitset.next_member (Bitset.create 64) 0 = None);
+  (* scanning by next_member enumerates exactly the members in order *)
+  let rec scan from acc =
+    match Bitset.next_member s from with
+    | None -> List.rev acc
+    | Some v -> scan (v + 1) (v :: acc)
+  in
+  check_bool "scan = to_list" true (scan 0 [] = Bitset.to_list s)
+
 let () =
   Alcotest.run "bitset"
     [
@@ -119,6 +136,7 @@ let () =
           case "iter order" test_iter_order;
           case "set operations" test_set_operations;
           case "choose" test_choose;
+          case "next_member" test_next_member;
           case "universe mismatch" test_universe_mismatch;
         ] );
       ( "properties",

@@ -189,6 +189,45 @@ let test_churn_validation () =
   Alcotest.check_raises "snapshots" (Invalid_argument "Churn.simulate: need at least one snapshot")
     (fun () -> ignore (Churn.simulate (rng ()) g ~rate_fail:1.0 ~rate_repair:1.0 ~horizon:1.0 ~snapshots:0))
 
+let test_normalize_accepts_and_orders () =
+  let faulty = Bitset.of_list 10 [ 7 ] in
+  match Churn.normalize_batch ~n:10 ~faulty [ Churn.Fault 3; Churn.Repair 7; Churn.Fault 3 ] with
+  | Ok evs ->
+    (* f3 coalesces to its last occurrence, which follows r7 *)
+    check_bool "order" true (evs = [ Churn.Repair 7; Churn.Fault 3 ])
+  | Error e -> Alcotest.fail ("rejected: " ^ Churn.error_to_string e)
+
+let test_normalize_rejects () =
+  let faulty = Bitset.of_list 10 [ 7 ] in
+  let expect name evs want =
+    match Churn.normalize_batch ~n:10 ~faulty evs with
+    | Ok _ -> Alcotest.fail (name ^ ": accepted")
+    | Error e -> check_bool name true (e = want)
+  in
+  expect "out of range" [ Churn.Fault 10 ] (Churn.Out_of_range 10);
+  expect "negative" [ Churn.Repair (-1) ] (Churn.Out_of_range (-1));
+  expect "fault of faulty" [ Churn.Fault 7 ] (Churn.Fault_of_faulty 7);
+  expect "repair of alive" [ Churn.Repair 3 ] (Churn.Repair_of_alive 3);
+  (* coalescing consequence: f5 r5 on alive 5 survives as r5 *)
+  expect "coalesced repair of alive" [ Churn.Fault 5; Churn.Repair 5 ]
+    (Churn.Repair_of_alive 5);
+  (* range errors come first, in input order *)
+  expect "range before mask" [ Churn.Fault 7; Churn.Fault 99 ] (Churn.Out_of_range 99)
+
+let test_normalize_then_apply () =
+  let faulty = Bitset.of_list 10 [ 7; 8 ] in
+  match
+    Churn.normalize_batch ~n:10 ~faulty [ Churn.Repair 8; Churn.Fault 0; Churn.Fault 0 ]
+  with
+  | Error e -> Alcotest.fail (Churn.error_to_string e)
+  | Ok evs ->
+    check_int "coalesced" 2 (List.length evs);
+    Churn.apply_batch ~faulty evs;
+    check_bool "repaired" false (Bitset.mem faulty 8);
+    check_bool "faulted" true (Bitset.mem faulty 0);
+    check_bool "untouched" true (Bitset.mem faulty 7);
+    check_int "mask size" 2 (Bitset.cardinal faulty)
+
 let () =
   Alcotest.run "faults"
     [
@@ -224,5 +263,8 @@ let () =
           case "stationary convergence" test_churn_stationary_convergence;
           case "parallel trajectories" test_churn_parallel_trajectories;
           case "validation" test_churn_validation;
+          case "normalize accepts and orders" test_normalize_accepts_and_orders;
+          case "normalize rejects" test_normalize_rejects;
+          case "normalize then apply" test_normalize_then_apply;
         ] );
     ]

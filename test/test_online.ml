@@ -1,0 +1,477 @@
+(* Fn_online: the incremental-equals-scratch differential invariant,
+   the delta-BFS surveys, batch rejection atomicity, warm-mode audit
+   reconciliation, the line protocol, and daemon kill-and-resume
+   byte-identity through the faultnetd binary. *)
+
+open Fn_graph
+open Testutil
+module Event = Fn_online.Event
+module Delta_bfs = Fn_online.Delta_bfs
+module Dirty = Fn_online.Dirty
+module Cert = Fn_online.Cert
+module Warm = Fn_online.Warm
+module Engine = Fn_online.Engine
+module Protocol = Fn_online.Protocol
+module Server = Fn_online.Server
+
+let rng () = Fn_prng.Rng.create 0x0417
+
+(* ------------------------------------------------------------------ *)
+(* Dirty tracker                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_dirty_basics () =
+  let d = Dirty.create 10 in
+  check_bool "clean" false (Dirty.mem d 3);
+  Dirty.mark d 3;
+  Dirty.mark d 7;
+  Dirty.mark d 3;
+  check_bool "marked" true (Dirty.mem d 3);
+  check_int "deduplicated" 2 (Dirty.count d);
+  let seen = ref [] in
+  Dirty.iter d (fun v -> seen := v :: !seen);
+  check_int "iter covers marks" 2 (List.length !seen);
+  Dirty.next_generation d;
+  check_bool "cleared" false (Dirty.mem d 3);
+  check_int "count reset" 0 (Dirty.count d);
+  check_int "peak persists" 2 (Dirty.peak d);
+  Alcotest.check_raises "out of range" (Invalid_argument "Dirty.mark: node out of range")
+    (fun () -> Dirty.mark d 10)
+
+(* ------------------------------------------------------------------ *)
+(* Delta_bfs vs a naive reference                                      *)
+(* ------------------------------------------------------------------ *)
+
+let naive_survey view ~alive ~radius src =
+  let n = Gview.num_nodes view in
+  let dist = Array.make n (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Gview.iter_neighbors view u (fun v ->
+        if dist.(v) < 0 && Bitset.mem alive v then begin
+          dist.(v) <- dist.(u) + 1;
+          if dist.(v) <= radius then Queue.add v q
+        end)
+  done;
+  let s = ref 0 and b = ref 0 and ball = Bitset.create n in
+  Array.iteri
+    (fun v d ->
+      if d >= 0 && d <= radius then begin
+        incr s;
+        Bitset.add ball v
+      end
+      else if d = radius + 1 then incr b)
+    dist;
+  (!s, !b, ball)
+
+let random_mask r n keep =
+  let m = Bitset.create n in
+  for v = 0 to n - 1 do
+    if Fn_prng.Rng.float r 1.0 < keep then Bitset.add m v
+  done;
+  m
+
+let test_survey_matches_naive () =
+  let r = rng () in
+  let views =
+    [
+      Gview.Csr (fst (Fn_topology.Mesh.cube ~d:2 ~side:7));
+      Gview.Csr (fst (Fn_topology.Torus.cube ~d:2 ~side:6));
+      Fn_topology.Implicit.torus [| 5; 7 |];
+    ]
+  in
+  List.iter
+    (fun view ->
+      let n = Gview.num_nodes view in
+      let bfs = Delta_bfs.create view in
+      for _ = 1 to 20 do
+        let alive = random_mask r n 0.8 in
+        match Bitset.choose alive with
+        | None -> ()
+        | Some src ->
+          let radius = 1 + Fn_prng.Rng.int r 3 in
+          let ball = Bitset.create n in
+          let s, b = Delta_bfs.survey bfs ~alive ~into:ball ~radius src in
+          let s', b', ball' = naive_survey view ~alive ~radius src in
+          check_int "s" s' s;
+          check_int "b" b' b;
+          check_bool "ball" true (Bitset.equal ball' ball)
+      done)
+    views
+
+let test_survey_boundary_is_prune_boundary () =
+  (* the surveyed (s, b) must be exactly the |S| and |Gamma(S)| Prune
+     measures on the same ball *)
+  let view = Gview.Csr (fst (Fn_topology.Torus.cube ~d:2 ~side:8)) in
+  let n = Gview.num_nodes view in
+  let r = rng () in
+  let bfs = Delta_bfs.create view in
+  for _ = 1 to 20 do
+    let alive = random_mask r n 0.85 in
+    match Bitset.choose alive with
+    | None -> ()
+    | Some src ->
+      let ball = Bitset.create n in
+      let s, b = Delta_bfs.survey bfs ~alive ~into:ball ~radius:2 src in
+      check_int "size" (Bitset.cardinal ball) s;
+      check_int "boundary" (Boundary.node_boundary_size_v ~alive view ball) b
+  done
+
+let test_region_marks_neighborhood () =
+  let g, _ = Fn_topology.Mesh.cube ~d:2 ~side:8 in
+  let view = Gview.Csr g in
+  let bfs = Delta_bfs.create view in
+  let seen = Hashtbl.create 64 in
+  Delta_bfs.region bfs ~radius:2 ~sources:[ 0; 63 ] (fun v ->
+      check_bool "no duplicates" false (Hashtbl.mem seen v);
+      Hashtbl.replace seen v ());
+  (* unrestricted distance <= 2 of corner 0 (row-major 8x8): 6 nodes,
+     same for corner 63, disjoint *)
+  check_int "region size" 12 (Hashtbl.length seen);
+  check_bool "source in" true (Hashtbl.mem seen 0);
+  check_bool "dist 2 in" true (Hashtbl.mem seen 2);
+  check_bool "dist 3 out" false (Hashtbl.mem seen 3)
+
+(* ------------------------------------------------------------------ *)
+(* The differential invariant: incremental == from-scratch             *)
+(* ------------------------------------------------------------------ *)
+
+let result_equal (a : Faultnet.Prune.result) (b : Faultnet.Prune.result) =
+  Bitset.equal a.kept b.kept
+  && a.iterations = b.iterations
+  && Float.equal a.threshold b.threshold
+  && List.length a.culled = List.length b.culled
+  && List.for_all2
+       (fun (x : Faultnet.Prune.culled) (y : Faultnet.Prune.culled) ->
+         x.size = y.size && x.boundary = y.boundary && Bitset.equal x.set y.set)
+       a.culled b.culled
+
+(* Random valid batch against the engine's current fault mask: faults
+   of alive nodes, repairs of faulty ones. *)
+let random_batch r engine k =
+  let faulty = Engine.faulty_mask engine in
+  let alive = Engine.alive_mask engine in
+  let pick m =
+    let a = Bitset.to_array m in
+    if Array.length a = 0 then None else Some a.(Fn_prng.Rng.int r (Array.length a))
+  in
+  let out = ref [] in
+  let used = Hashtbl.create 8 in
+  for _ = 1 to k do
+    let repair = Fn_prng.Rng.float r 1.0 < 0.4 in
+    let cand = if repair then pick faulty else pick alive in
+    match cand with
+    | Some v when not (Hashtbl.mem used v) ->
+      Hashtbl.replace used v ();
+      (* keep the mirrors current so later picks stay valid *)
+      if repair then begin
+        Bitset.remove faulty v;
+        Bitset.add alive v;
+        out := Event.Repair v :: !out
+      end
+      else begin
+        Bitset.add faulty v;
+        Bitset.remove alive v;
+        out := Event.Fault v :: !out
+      end
+    | _ -> ()
+  done;
+  List.rev !out
+
+let check_differential view ~alpha ~epsilon ~batches ~batch_size =
+  let r = rng () in
+  let cfg = { Engine.default_config with Engine.alpha; epsilon; seed = 99 } in
+  let engine = Engine.create ~cfg view in
+  for i = 1 to batches do
+    let batch = random_batch r engine batch_size in
+    (match Engine.apply engine batch with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "valid batch rejected: %s" (Fn_faults.Churn.error_to_string e));
+    let mask = Engine.alive_mask engine in
+    let scratch = Cert.scratch ~radius:2 view ~alive:mask ~alpha ~epsilon in
+    check_bool
+      (Printf.sprintf "batch %d: incremental result equals scratch" i)
+      true
+      (result_equal (Engine.result engine) scratch);
+    let a_inc = Engine.alpha engine in
+    let a_ref = Warm.reference ~seed:99 view ~kept:scratch.Faultnet.Prune.kept in
+    check_bool
+      (Printf.sprintf "batch %d: alpha byte-equal" i)
+      true
+      (Int64.equal (Int64.bits_of_float a_inc) (Int64.bits_of_float a_ref))
+  done;
+  let rep = Engine.audit engine in
+  check_int "final audit clean" 0 rep.Engine.faults
+
+let test_differential_mesh () =
+  let view = Gview.Csr (fst (Fn_topology.Mesh.cube ~d:2 ~side:8)) in
+  check_differential view ~alpha:1.0 ~epsilon:0.5 ~batches:12 ~batch_size:4
+
+let test_differential_mesh_aggressive () =
+  (* threshold 1.0: interior mesh balls qualify even fault-free, so
+     the cascade itself (demotions, re-surveys mid-cull) is exercised
+     hard from the first batch *)
+  let view = Gview.Csr (fst (Fn_topology.Mesh.cube ~d:2 ~side:8)) in
+  check_differential view ~alpha:2.0 ~epsilon:0.5 ~batches:8 ~batch_size:3
+
+let test_differential_torus () =
+  let view = Gview.Csr (fst (Fn_topology.Torus.cube ~d:2 ~side:6)) in
+  check_differential view ~alpha:1.2 ~epsilon:0.5 ~batches:12 ~batch_size:4
+
+let test_differential_implicit_torus () =
+  let view = Fn_topology.Implicit.torus [| 8; 8 |] in
+  check_differential view ~alpha:1.2 ~epsilon:0.5 ~batches:12 ~batch_size:4
+
+let test_differential_expander () =
+  let g = Fn_topology.Expander.random_regular (rng ()) ~n:64 ~d:4 in
+  check_differential (Gview.Csr g) ~alpha:1.5 ~epsilon:0.6 ~batches:10 ~batch_size:5
+
+let test_invalid_batch_is_atomic () =
+  let view = Gview.Csr (fst (Fn_topology.Torus.cube ~d:2 ~side:6)) in
+  let engine = Engine.create view in
+  (match Engine.apply engine [ Event.Fault 1; Event.Fault 2 ] with
+  | Ok k -> check_int "applied" 2 k
+  | Error _ -> Alcotest.fail "valid batch rejected");
+  let digest = Engine.state_digest engine in
+  let expect_err evs =
+    match Engine.apply engine evs with
+    | Ok _ -> Alcotest.fail "invalid batch accepted"
+    | Error _ -> ()
+  in
+  expect_err [ Event.Fault 1 ] (* already faulty *);
+  expect_err [ Event.Repair 5 ] (* alive *);
+  expect_err [ Event.Fault 99 ] (* out of range *);
+  expect_err [ Event.Fault 5; Event.Repair 5 ] (* coalesces to repair-of-alive *);
+  check_bool "state unchanged by rejected batches" true
+    (String.equal digest (Engine.state_digest engine));
+  check_int "rejections counted" 4 (Engine.stats engine).Engine.rejected
+
+let test_coalescing_last_write_wins () =
+  let view = Gview.Csr (fst (Fn_topology.Mesh.cube ~d:2 ~side:6)) in
+  let engine = Engine.create view in
+  (* f3 r3 f3 coalesces to the final f3 *)
+  (match Engine.apply engine [ Event.Fault 3; Event.Repair 3; Event.Fault 3 ] with
+  | Ok k -> check_int "coalesced to one event" 1 k
+  | Error _ -> Alcotest.fail "coalescible batch rejected");
+  check_bool "node 3 dead" false (Engine.is_alive engine 3);
+  check_int "one event counted" 1 (Engine.stats engine).Engine.events
+
+let test_warm_mode_reconciles () =
+  let view = Gview.Csr (fst (Fn_topology.Torus.cube ~d:2 ~side:12)) in
+  let cfg =
+    { Engine.default_config with Engine.alpha = 1.0; epsilon = 0.5; seed = 7;
+      mode = Warm.Warm }
+  in
+  let engine = Engine.create ~cfg view in
+  let r = rng () in
+  for _ = 1 to 6 do
+    let batch = random_batch r engine 3 in
+    (match Engine.apply engine batch with
+    | Ok _ -> ()
+    | Error _ -> Alcotest.fail "valid batch rejected");
+    ignore (Engine.alpha engine : float)
+  done;
+  let s = Engine.stats engine in
+  check_bool "warm path exercised" true (s.Engine.alpha_computes > 0);
+  ignore (Engine.audit engine : Engine.audit_report);
+  (* post-audit the cached alpha must be the cold reference *)
+  let kept = (Engine.result engine).Faultnet.Prune.kept in
+  let a_ref = Warm.reference ~seed:7 view ~kept in
+  check_bool "reconciled to cold reference" true
+    (Int64.equal (Int64.bits_of_float (Engine.alpha engine)) (Int64.bits_of_float a_ref))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol and in-process server                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_roundtrip () =
+  let cmds =
+    [
+      Protocol.Alive 3;
+      Protocol.Certificate 0;
+      Protocol.Alpha;
+      Protocol.Apply [ Event.Fault 1; Event.Repair 2 ];
+      Protocol.Stats;
+      Protocol.Audit;
+      Protocol.State;
+      Protocol.Quit;
+    ]
+  in
+  List.iter
+    (fun c ->
+      match Protocol.parse (Protocol.render c) with
+      | Ok (Some c') -> check_bool ("roundtrip " ^ Protocol.render c) true (c = c')
+      | _ -> Alcotest.fail ("roundtrip failed: " ^ Protocol.render c))
+    cmds;
+  (match Protocol.parse "  # comment" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "comment not ignored");
+  (match Protocol.parse "" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "blank not ignored");
+  (match Protocol.parse "alive? x" with
+  | Error _ -> ()
+  | _ -> Alcotest.fail "bad node id accepted");
+  (match Protocol.parse "apply f1 zap" with
+  | Error _ -> ()
+  | _ -> Alcotest.fail "bad token accepted");
+  match Protocol.parse "frobnicate" with
+  | Error _ -> ()
+  | _ -> Alcotest.fail "unknown command accepted"
+
+let test_event_json_roundtrip () =
+  let batch = [ Event.Fault 12; Event.Repair 0; Event.Fault 999 ] in
+  (match Event.batch_of_json (Event.batch_to_json batch) with
+  | Some b -> check_bool "json roundtrip" true (b = batch)
+  | None -> Alcotest.fail "json roundtrip failed");
+  match Event.batch_of_json (Fn_obs.Jsonx.Str "nope") with
+  | None -> ()
+  | Some _ -> Alcotest.fail "bad json accepted"
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let test_server_session () =
+  let view = Gview.Csr (fst (Fn_topology.Torus.cube ~d:2 ~side:8)) in
+  let cfg = { Engine.default_config with Engine.alpha = 1.0; epsilon = 0.5 } in
+  let engine = Engine.create ~cfg view in
+  let say line = Server.handle engine line in
+  let expect line want =
+    match (say line).Server.reply with
+    | Some got -> check_bool (line ^ " -> " ^ want) true (String.equal want got)
+    | None -> Alcotest.fail ("no reply to " ^ line)
+  in
+  expect "alive? 5" "ok true";
+  expect "apply f5 f6" "ok applied=2 alive=62";
+  expect "alive? 5" "ok false";
+  expect "apply f5" "err fault of already-faulty node 5";
+  expect "alive? 999" "err node 999 out of range";
+  (match (say "alpha?").Server.reply with
+  | Some s -> check_bool "alpha ok" true (starts_with ~prefix:"ok 0x" s)
+  | None -> Alcotest.fail "no alpha reply");
+  (match (say "state?").Server.reply with
+  | Some s -> check_bool "digest ok" true (starts_with ~prefix:"ok digest=" s)
+  | None -> Alcotest.fail "no state reply");
+  (match (say "audit!").Server.reply with
+  | Some s -> check_bool "audit clean" true (starts_with ~prefix:"ok " s && not (starts_with ~prefix:"ok kept=false" s))
+  | None -> Alcotest.fail "no audit reply");
+  check_bool "comment ignored" true (Option.is_none (say "# hi").Server.reply);
+  let out = say "quit" in
+  check_bool "quit stops" true out.Server.quit
+
+(* ------------------------------------------------------------------ *)
+(* Daemon kill-and-resume byte-identity (subprocess)                   *)
+(* ------------------------------------------------------------------ *)
+
+let daemon =
+  let candidates =
+    [
+      Filename.concat (Filename.concat ".." "bin") "faultnetd.exe";
+      List.fold_left Filename.concat "_build" [ "default"; "bin"; "faultnetd.exe" ];
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc s)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_daemon_kill_and_resume () =
+  if not (Sys.file_exists daemon) then Alcotest.skip ()
+  else begin
+    let tmp suffix = Filename.temp_file "fn_online" suffix in
+    let inp = tmp ".in" and out = tmp ".out" and errf = tmp ".err" in
+    let journal = tmp ".jsonl" in
+    Sys.remove journal;
+    let args = "--topology torus:8x8 --seed 5 --alpha 1.0 --epsilon 0.5" in
+    let run extra input =
+      write_file inp input;
+      let cmd = Printf.sprintf "%s %s %s < %s > %s 2> %s" daemon args extra inp out errf in
+      check_int ("exit 0: " ^ extra) 0 (Sys.command cmd);
+      read_file out
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun f -> if Sys.file_exists f then Sys.remove f)
+          [ inp; out; errf; journal ])
+      (fun () ->
+        let b1 = "apply f3 f4 f5\n" and b2 = "apply f20 r3\n" in
+        let b3 = "apply f40 f41\n" and b4 = "apply r20 f9\n" in
+        let probe = "state?\nalpha?\nstats?\nquit\n" in
+        (* uninterrupted reference *)
+        let reference = run "" (b1 ^ b2 ^ b3 ^ b4 ^ probe) in
+        (* killed session: first two batches, journaled *)
+        let _ = run ("--journal " ^ journal) (b1 ^ b2) in
+        (* resumed session: replays b1/b2, then continues *)
+        let resumed = run ("--journal " ^ journal ^ " --resume") (b3 ^ b4 ^ probe) in
+        let tail4 s =
+          let lines = String.split_on_char '\n' (String.trim s) in
+          let k = List.length lines in
+          List.filteri (fun i _ -> i >= k - 4) lines
+        in
+        (* the digest, alpha and stats lines must be byte-identical to
+           the uninterrupted run; earlier lines differ only in how
+           many apply acks each process printed *)
+        check_bool "resumed state byte-identical" true (tail4 reference = tail4 resumed);
+        (* resuming with a different epsilon must be refused *)
+        write_file inp "quit\n";
+        let cmd =
+          Printf.sprintf
+            "%s --topology torus:8x8 --seed 5 --alpha 1.0 --epsilon 0.25 --journal %s \
+             --resume < %s > %s 2> %s"
+            daemon journal inp out errf
+        in
+        check_bool "mismatched epsilon refused" true (Sys.command cmd <> 0);
+        check_bool "mismatch explained" true
+          (let e = read_file errf in
+           let rec contains i =
+             i + 8 <= String.length e && (String.equal (String.sub e i 8) "mismatch" || contains (i + 1))
+           in
+           contains 0))
+  end
+
+let () =
+  Alcotest.run "online"
+    [
+      ("dirty", [ case "basics" test_dirty_basics ]);
+      ( "delta_bfs",
+        [
+          case "survey matches naive BFS" test_survey_matches_naive;
+          case "survey boundary is Prune boundary" test_survey_boundary_is_prune_boundary;
+          case "region marks r-neighborhood once" test_region_marks_neighborhood;
+        ] );
+      ( "differential",
+        [
+          case "mesh 8x8" test_differential_mesh;
+          case "mesh 8x8 aggressive threshold" test_differential_mesh_aggressive;
+          case "torus 6x6" test_differential_torus;
+          case "implicit torus 8x8" test_differential_implicit_torus;
+          case "expander 64/4" test_differential_expander;
+        ] );
+      ( "engine",
+        [
+          case "invalid batches are atomic" test_invalid_batch_is_atomic;
+          case "coalescing last-write-wins" test_coalescing_last_write_wins;
+          case "warm mode reconciles on audit" test_warm_mode_reconciles;
+        ] );
+      ( "protocol",
+        [
+          case "roundtrip" test_protocol_roundtrip;
+          case "event json roundtrip" test_event_json_roundtrip;
+          case "in-process session" test_server_session;
+        ] );
+      ("daemon", [ case "kill-and-resume byte-identity" test_daemon_kill_and_resume ]);
+    ]
