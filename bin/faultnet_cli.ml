@@ -596,8 +596,31 @@ let serve_cmd =
     let doc = "Replay an existing journal before serving." in
     Arg.(value & flag & info [ "resume" ] ~doc)
   in
-  let run seed topology alpha epsilon radius mode audit_every domains journal resume trace
-      metrics =
+  let compact_arg =
+    let doc =
+      "Compact the journal (snapshot + suffix) every $(docv) accepted batches (0 = \
+       never); bounds recovery cost."
+    in
+    Arg.(value & opt int 0 & info [ "compact-every" ] ~docv:"N" ~doc)
+  in
+  let dirty_arg =
+    let doc =
+      "Overload-shedding threshold: shed batches dirtying more than this fraction of \
+       the graph and serve stale-but-stamped answers until the deferred recompute (1.0 \
+       = never shed)."
+    in
+    Arg.(value & opt float 1.0 & info [ "max-dirty-frac" ] ~docv:"F" ~doc)
+  in
+  let postmortem_arg =
+    let doc = "Directory for audit-quarantine post-mortem snapshots." in
+    Arg.(value & opt (some string) None & info [ "postmortem" ] ~docv:"DIR" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-query deadline in seconds (post-hoc; replies err deadline)." in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECS" ~doc)
+  in
+  let run seed topology alpha epsilon radius mode audit_every domains journal resume
+      compact_every max_dirty_frac postmortem deadline trace metrics =
     with_obs ~trace ~metrics (fun obs ->
         let rng = rng_of_seed seed in
         match Fn_online.Server.view_of_spec rng topology with
@@ -611,13 +634,21 @@ let serve_cmd =
               epsilon;
               mode;
               audit_every;
+              max_dirty_frac;
+              postmortem;
               domains;
               obs;
             }
           in
           let engine = Fn_online.Engine.create ~cfg view in
           let meta = [ ("topology", Fn_obs.Jsonx.Str topology) ] in
-          (match Fn_online.Server.serve ?journal ~resume ~meta engine stdin stdout with
+          let policy =
+            Option.map (fun d -> Fn_resilience.Policy.make ~deadline_s:d ()) deadline
+          in
+          (match
+             Fn_online.Server.serve ?journal ~resume ~meta ?policy ~compact_every engine
+               stdin stdout
+           with
           | Ok () -> `Ok ()
           | Error m -> `Error (false, m)))
   in
@@ -625,8 +656,8 @@ let serve_cmd =
     Term.(
       ret
         (const run $ seed_arg $ topology_arg $ alpha_arg $ epsilon_arg $ radius_arg
-       $ mode_arg $ audit_arg $ domains_arg $ journal_arg $ resume_arg $ trace_arg
-       $ metrics_arg))
+       $ mode_arg $ audit_arg $ domains_arg $ journal_arg $ resume_arg $ compact_arg
+       $ dirty_arg $ postmortem_arg $ deadline_arg $ trace_arg $ metrics_arg))
   in
   Cmd.v
     (Cmd.info "serve"

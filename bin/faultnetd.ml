@@ -11,7 +11,9 @@ let usage () =
   prerr_endline
     "usage: faultnetd --topology SPEC [--seed N] [--alpha F] [--epsilon F] [--radius N]\n\
     \       [--mode exact|warm] [--audit-every N] [--domains N]\n\
-    \       [--journal PATH] [--resume] [--trace FILE] [--metrics]\n\
+    \       [--journal PATH] [--resume] [--compact-every N]\n\
+    \       [--max-dirty-frac F] [--postmortem DIR] [--deadline SECS]\n\
+    \       [--trace FILE] [--metrics]\n\
      topologies: itorus:1000x1000 imesh:100x100 ihypercube:20 mesh:8x8 torus:16x16\n\
     \       hypercube:10 debruijn:8 complete:64 cycle:100 expander:256:6";
   exit 2
@@ -27,6 +29,10 @@ let () =
   let domains = ref None in
   let journal = ref None in
   let resume = ref false in
+  let compact_every = ref 0 in
+  let max_dirty_frac = ref 1.0 in
+  let postmortem = ref None in
+  let deadline = ref None in
   let trace = ref None in
   let metrics = ref false in
   let int_of s = match int_of_string_opt s with Some v -> v | None -> usage () in
@@ -66,6 +72,18 @@ let () =
     | "--resume" :: rest ->
       resume := true;
       parse rest
+    | "--compact-every" :: v :: rest ->
+      compact_every := int_of v;
+      parse rest
+    | "--max-dirty-frac" :: v :: rest ->
+      max_dirty_frac := float_of v;
+      parse rest
+    | "--postmortem" :: v :: rest ->
+      postmortem := Some v;
+      parse rest
+    | "--deadline" :: v :: rest ->
+      deadline := Some (float_of v);
+      parse rest
     | "--trace" :: v :: rest ->
       trace := Some v;
       parse rest
@@ -102,15 +120,22 @@ let () =
               epsilon = !epsilon;
               mode = !mode;
               audit_every = !audit_every;
+              max_dirty_frac = !max_dirty_frac;
+              postmortem = !postmortem;
               domains = !domains;
               obs = sink;
             }
           in
           let engine = Fn_online.Engine.create ~cfg view in
           let meta = [ ("topology", Fn_obs.Jsonx.Str spec) ] in
+          let policy =
+            match !deadline with
+            | Some d -> Some (Fn_resilience.Policy.make ~deadline_s:d ())
+            | None -> None
+          in
           (match
-             Fn_online.Server.serve ?journal:!journal ~resume:!resume ~meta engine stdin
-               stdout
+             Fn_online.Server.serve ?journal:!journal ~resume:!resume ~meta ?policy
+               ~compact_every:!compact_every engine stdin stdout
            with
           | Ok () -> ()
           | Error m ->

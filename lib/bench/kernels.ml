@@ -384,6 +384,117 @@ let () =
       done;
       !acc)
 
+(* ---- online: crash-only recovery and degraded serving ---- *)
+
+(* Recovery replay vs snapshot restore on the 10^6 implicit torus.
+   One recorded session — [recovery_pairs] fault/repair batch pairs
+   over the 64 spaced churn targets plus a final unrepaired fault
+   batch — journaled twice: verbatim (every trial replayed on
+   recovery) and compacted (meta + one snapshot line, recovery is a
+   single restore).  The two kernels then time the full cold path a
+   restarting faultnetd pays: open journal, build engine, recover.
+   The acceptance bar is the ratio: compaction must cut recovery by
+   at least 5x (see BENCH_online.json).  Engine construction alone is
+   ~1.2s on 10^6 nodes and both paths pay it, so the session is sized
+   (~410k events) to make the replayed prefix, not the shared
+   constant, the thing compaction deletes. *)
+let recovery_pairs = 3200
+
+let recovery_cfg =
+  { Fn_online.Engine.default_config with Fn_online.Engine.alpha = 1.0; epsilon = 0.5 }
+
+let recovery_meta = [ ("bench", Fn_obs.Jsonx.Str "recovery") ]
+
+let recovery_batch b =
+  let mk v = if b land 1 = 0 then Fn_online.Event.Fault v else Fn_online.Event.Repair v in
+  Array.to_list (Array.map mk churn_targets)
+
+let recovery_journal_or_die ~path =
+  match Fn_resilience.Journal.open_ ~path ~meta:recovery_meta with
+  | Ok j -> j
+  | Error e -> failwith ("recovery kernel: " ^ e)
+
+(* (uncompacted path, compacted path); built once, recovered per run *)
+let recovery_journals =
+  lazy
+    (let batches = (2 * recovery_pairs) + 1 in
+     let eng = Fn_online.Engine.create ~cfg:recovery_cfg (Lazy.force torus1e6) in
+     let plain = Filename.temp_file "fn_bench_recovery" ".jsonl" in
+     let compacted = Filename.temp_file "fn_bench_recovery_compact" ".jsonl" in
+     let jp = recovery_journal_or_die ~path:plain in
+     let jc = recovery_journal_or_die ~path:compacted in
+     for b = 0 to batches - 1 do
+       let evs = recovery_batch b in
+       apply_or_die eng evs;
+       let json = Fn_online.Event.batch_to_json evs in
+       Fn_resilience.Journal.record_trial jp ~scope:Fn_online.Server.scope ~index:b json;
+       Fn_resilience.Journal.record_trial jc ~scope:Fn_online.Server.scope ~index:b json
+     done;
+     (match
+        Fn_resilience.Journal.compact jc ~scope:Fn_online.Server.scope ~upto:batches
+          ~snapshot:(Fn_online.Engine.encode_state eng)
+      with
+     | Ok () -> ()
+     | Error e -> failwith ("recovery kernel: compact: " ^ e));
+     Fn_resilience.Journal.close jp;
+     Fn_resilience.Journal.close jc;
+     (plain, compacted))
+
+let recover_or_die ~path =
+  let j = recovery_journal_or_die ~path in
+  Fun.protect
+    ~finally:(fun () -> Fn_resilience.Journal.close j)
+    (fun () ->
+      let eng = Fn_online.Engine.create ~cfg:recovery_cfg (Lazy.force torus1e6) in
+      match Fn_online.Server.recover j eng with
+      | Ok next -> (next, Fn_online.Engine.state_digest eng)
+      | Error e -> failwith ("recovery kernel: recover: " ^ e))
+
+let () =
+  reg ~suite:online
+    ~items:(((2 * recovery_pairs) + 1) * Array.length churn_targets)
+    "recovery_replay_torus1e6"
+    (deps [ dep torus1e6; dep recovery_journals ])
+    (fun () -> recover_or_die ~path:(fst (Lazy.force recovery_journals)))
+
+let () =
+  reg ~suite:online ~items:(Array.length churn_targets) "recovery_restore_torus1e6"
+    (deps [ dep torus1e6; dep recovery_journals ])
+    (fun () -> recover_or_die ~path:(snd (Lazy.force recovery_journals)))
+
+(* Query latency in degraded mode: a max_dirty_frac low enough that
+   the 64-target fault batch sheds, so the engine serves stale
+   stamped answers from the pinned pre-batch cascade.  Same probe mix
+   as online_query_latency — the pair quantifies what shedding buys
+   on the serving path.  Queries never trigger the catch-up rebuild
+   (only batches, recompute and audits do), so the engine stays
+   degraded across runs. *)
+let degraded_engine =
+  lazy
+    (let eng =
+       Fn_online.Engine.create
+         ~cfg:{ recovery_cfg with Fn_online.Engine.max_dirty_frac = 1e-4 }
+         (Lazy.force torus1e6)
+     in
+     apply_or_die eng
+       (Array.to_list (Array.map (fun v -> Fn_online.Event.Fault v) churn_targets));
+     if not (Fn_online.Engine.degraded eng) then
+       failwith "degraded kernel: batch did not shed";
+     ignore (Fn_online.Engine.alpha eng : float);
+     eng)
+
+let () =
+  reg ~suite:online ~items:256 "degraded_query_latency" (dep degraded_engine) (fun () ->
+      let eng = Lazy.force degraded_engine in
+      let acc = ref 0 in
+      for i = 0 to 255 do
+        let v = 1234 + (3137 * i) in
+        if Fn_online.Engine.is_alive eng v then incr acc;
+        if Fn_online.Engine.in_certificate eng v then incr acc;
+        if i land 15 = 0 then ignore (Fn_online.Engine.alpha eng : float)
+      done;
+      !acc)
+
 (* ---- ablations ---- *)
 
 (* the degenerate-eigenspace fix: a single Fiedler sweep vs the

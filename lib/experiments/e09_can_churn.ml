@@ -44,6 +44,8 @@ let run (cfg : Workload.config) =
                       epsilon;
                       mode = Fn_online.Warm.Exact;
                       audit_every = 0;
+                      max_dirty_frac = 1.0;
+                      postmortem = None;
                       domains;
                       obs;
                     }

@@ -575,6 +575,14 @@ let allowlist =
           "arc-indexed queues are keyed by CSR edge positions, which have no Gview \
            analogue";
       ] );
+    ( "no-catchall-exn",
+      [
+        prefix "lib/online/engine.ml"
+          "the audit-quarantine post-mortem write is crash-only diagnostics: no \
+           filesystem failure (full disk, missing dir) may escalate a detected \
+           divergence into a dead service, so the one write site deliberately \
+           swallows everything";
+      ] );
     ( "no-exit-in-lib",
       [
         base "span.ml"

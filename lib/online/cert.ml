@@ -4,6 +4,7 @@ type t = {
   n : int;
   radius : int;
   threshold : float;
+  max_dirty_frac : float; (* shed batches dirtying more than this fraction of n *)
   bfs : Delta_bfs.t;
   dirty : Dirty.t;
   alive : Bitset.t; (* owned copy of the live mask *)
@@ -11,6 +12,8 @@ type t = {
   qual : Bitset.t; (* alive nodes whose ball meets the ratio bound *)
   s_of : int array; (* ball size per alive node, vs the current mask *)
   mutable cached : Faultnet.Prune.result option;
+  mutable deferred : bool; (* candidate state is stale; [cached] serves reads *)
+  mutable shed : int; (* batches applied without refreshing candidates *)
   mutable recomputed : int; (* candidate surveys since creation *)
 }
 
@@ -30,10 +33,12 @@ let recompute_candidate t v =
   end
   else Bitset.remove t.qual v
 
-let create ?(radius = 2) view ~alive ~alpha ~epsilon =
+let create ?(radius = 2) ?(max_dirty_frac = 1.0) view ~alive ~alpha ~epsilon =
   if alpha <= 0.0 then invalid_arg "Cert.create: alpha must be positive";
   if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Cert.create: need 0 < epsilon < 1";
   if radius < 1 then invalid_arg "Cert.create: radius must be >= 1";
+  if max_dirty_frac <= 0.0 || max_dirty_frac > 1.0 then
+    invalid_arg "Cert.create: need 0 < max_dirty_frac <= 1";
   let n = Gview.num_nodes view in
   if Bitset.universe alive <> n then invalid_arg "Cert.create: universe mismatch";
   let t =
@@ -41,6 +46,7 @@ let create ?(radius = 2) view ~alive ~alpha ~epsilon =
       n;
       radius;
       threshold = alpha *. epsilon;
+      max_dirty_frac;
       bfs = Delta_bfs.create view;
       dirty = Dirty.create n;
       alive = Bitset.copy alive;
@@ -48,6 +54,8 @@ let create ?(radius = 2) view ~alive ~alpha ~epsilon =
       qual = Bitset.create n;
       s_of = Array.make (max 1 n) 0;
       cached = None;
+      deferred = false;
+      shed = 0;
       recomputed = 0;
     }
   in
@@ -62,31 +70,6 @@ let alive_count t = t.alive_count
 let recomputed t = t.recomputed
 let dirty_peak t = Dirty.peak t.dirty
 let last_dirty t = Dirty.count t.dirty
-
-(* Apply a normalized churn batch: flip aliveness, then refresh every
-   candidate within unrestricted distance radius + 1 of a changed node
-   (the locality lemma: nothing further away can have moved).  The
-   cascade cache is invalidated; culling is deferred to [result]. *)
-let apply t events =
-  match events with
-  | [] -> ()
-  | _ :: _ ->
-    List.iter
-      (fun ev ->
-        match ev with
-        | Fn_faults.Churn.Fault v ->
-          Bitset.remove t.alive v;
-          t.alive_count <- t.alive_count - 1
-        | Fn_faults.Churn.Repair v ->
-          Bitset.add t.alive v;
-          t.alive_count <- t.alive_count + 1)
-      events;
-    let changed = List.map Fn_faults.Churn.event_node events in
-    Dirty.next_generation t.dirty;
-    Delta_bfs.region t.bfs ~radius:(t.radius + 1) ~sources:changed (fun v ->
-        Dirty.mark t.dirty v);
-    Dirty.iter t.dirty (fun v -> recompute_candidate t v);
-    t.cached <- None
 
 (* The Prune cascade, run lazily over the maintained candidate state.
    Local copies [a]/[w] of alive/qual evolve as balls are culled; ball
@@ -154,6 +137,71 @@ let result t =
     r
 
 let set_result t r = t.cached <- Some r
+let degraded t = t.deferred
+let shed t = t.shed
+
+(* Rebuild every candidate against the current mask and leave deferred
+   mode: the "scheduled full recompute" that pays off the batches shed
+   while overloaded, and the quarantine rebuild after an audit
+   divergence.  O(n · ball), like creation. *)
+let refresh t =
+  Bitset.clear t.qual;
+  t.cached <- None;
+  t.deferred <- false;
+  Bitset.iter (fun v -> recompute_candidate t v) t.alive
+
+let flip t events =
+  List.iter
+    (fun ev ->
+      match ev with
+      | Fn_faults.Churn.Fault v ->
+        Bitset.remove t.alive v;
+        t.alive_count <- t.alive_count - 1
+      | Fn_faults.Churn.Repair v ->
+        Bitset.add t.alive v;
+        t.alive_count <- t.alive_count + 1)
+    events
+
+(* Apply a normalized churn batch.  The dirty region — every node
+   within unrestricted distance radius + 1 of a change (the locality
+   lemma: nothing further away can have moved) — is measured {e
+   before} the aliveness flips, because it is also the overload
+   signal: a batch dirtying more than [max_dirty_frac] of the graph is
+   {e shed} rather than absorbed.  Shedding pins the pre-batch cascade
+   as the stale answer reads will serve (forced here, so the served
+   value is a pure function of the accepted batch history, never of
+   query timing), flips aliveness, and defers all candidate work; the
+   full rebuild runs at the next batch that is back under the
+   threshold (or at an audit).  Un-shed batches refresh exactly the
+   dirty region, as before. *)
+let apply t events =
+  match events with
+  | [] -> ()
+  | _ :: _ ->
+    let changed = List.map Fn_faults.Churn.event_node events in
+    Dirty.next_generation t.dirty;
+    Delta_bfs.region t.bfs ~radius:(t.radius + 1) ~sources:changed (fun v ->
+        Dirty.mark t.dirty v);
+    let overload =
+      float_of_int (Dirty.count t.dirty) > t.max_dirty_frac *. float_of_int t.n
+    in
+    if overload then begin
+      if (not t.deferred) && Option.is_none t.cached then t.cached <- Some (cascade t);
+      flip t events;
+      t.deferred <- true;
+      t.shed <- t.shed + 1
+    end
+    else if t.deferred then begin
+      (* load is back under the threshold: catch up in one rebuild
+         that also absorbs this batch's changes *)
+      flip t events;
+      refresh t
+    end
+    else begin
+      flip t events;
+      Dirty.iter t.dirty (fun v -> recompute_candidate t v);
+      t.cached <- None
+    end
 
 (* The from-scratch reference: Prune(ε) with a finder that scans alive
    nodes in ascending id order and returns the first radius-bounded

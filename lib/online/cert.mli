@@ -26,11 +26,27 @@ open Fn_graph
 
 type t
 
-val create : ?radius:int -> Gview.t -> alive:Bitset.t -> alpha:float -> epsilon:float -> t
+val create :
+  ?radius:int ->
+  ?max_dirty_frac:float ->
+  Gview.t ->
+  alive:Bitset.t ->
+  alpha:float ->
+  epsilon:float ->
+  t
 (** Full initial survey: O(n · ball).  [radius] defaults to 2 (must be
     >= 1); threshold is [alpha *. epsilon] exactly as in
     {!Faultnet.Prune}.  [alive] is copied — the certificate owns its
-    mask and callers mutate theirs freely. *)
+    mask and callers mutate theirs freely.
+
+    [max_dirty_frac] (default 1.0 = never) is the overload-shedding
+    threshold: a batch whose dirty region exceeds this fraction of the
+    universe is applied to the mask but its candidate refresh is
+    deferred — {!result} then serves the pinned pre-overload cascade
+    ({!degraded} is true) until the next under-threshold batch or
+    {!refresh} performs the full rebuild.  The deferred state is a
+    pure function of the accepted batch history, so replaying the same
+    batches reproduces the same (stale) answers bit for bit. *)
 
 val universe : t -> int
 val radius : t -> int
@@ -54,16 +70,30 @@ val last_dirty : t -> int
 val apply : t -> Event.t list -> unit
 (** Apply a normalized batch (see
     {!Fn_faults.Churn.normalize_batch}; this module trusts its
-    caller): flip aliveness, re-survey the dirty region, invalidate
-    the cached cascade.  An empty batch is a no-op. *)
+    caller): flip aliveness, then either re-survey the dirty region or
+    — when the region exceeds [max_dirty_frac] — shed the refresh and
+    enter deferred mode (see {!create}).  An empty batch is a no-op. *)
 
 val result : t -> Faultnet.Prune.result
 (** The Prune cascade over the current mask, cached until the next
-    {!apply}.  Treat as read-only — the cache shares structure across
-    calls. *)
+    {!apply} — except in deferred mode, where it is the pinned
+    pre-overload cascade (stale by design; check {!degraded}).  Treat
+    as read-only — the cache shares structure across calls. *)
 
 val set_result : t -> Faultnet.Prune.result -> unit
 (** Replace the cached cascade — the audit's reconciliation hook. *)
+
+val degraded : t -> bool
+(** In deferred mode: {!result} serves a stale pinned cascade. *)
+
+val shed : t -> int
+(** Batches applied with their candidate refresh deferred. *)
+
+val refresh : t -> unit
+(** Rebuild every candidate against the current mask and leave
+    deferred mode: the scheduled full recompute behind overload
+    shedding and the quarantine rebuild.  O(n · ball), like
+    {!create}. *)
 
 val scratch_finder : ?radius:int -> Gview.t -> Faultnet.Low_expansion.t_v
 (** The ascending-scan radius-bounded ball finder, as a Prune oracle. *)

@@ -21,13 +21,20 @@ type config = {
   epsilon : float;  (** Prune slack ε, threshold α·ε *)
   mode : Warm.mode;
   audit_every : int;  (** auto-audit period in batches; 0 disables *)
+  max_dirty_frac : float;
+      (** overload-shedding threshold (see {!Cert.create}); 1.0 = never
+          shed *)
+  postmortem : string option;
+      (** directory for quarantine post-mortem snapshots; [None]
+          disables the write (the quarantine itself still happens) *)
   domains : int option;
   obs : Fn_obs.Sink.t;
 }
 
 val default_config : config
 (** seed 0, radius 2, alpha 0.5, epsilon 0.5, Exact, no auto-audit,
-    sequential, null sink.  Use record update syntax. *)
+    no shedding, no post-mortems, sequential, null sink.  Use record
+    update syntax. *)
 
 type audit_report = {
   kept_equal : bool;
@@ -48,6 +55,9 @@ type stats = {
   alpha_computes : int;
   warm_hits : int;
   cold_falls : int;
+  shed_batches : int;  (** batches absorbed with their refresh deferred *)
+  degraded_answers : int;  (** queries served from the stale pinned cascade *)
+  quarantines : int;  (** audits that found divergence and rebuilt *)
 }
 
 type t
@@ -83,10 +93,31 @@ val alpha : t -> float
 val in_certificate : t -> int -> bool
 (** Is [v] in the current survivor set [result.kept]? *)
 
+val degraded : t -> bool
+(** Overload shedding is in effect: {!alpha}, {!in_certificate} and
+    {!result} currently serve the stale pre-overload cascade (each
+    such answer is counted in [stats.degraded_answers]).  Cleared by
+    the next under-threshold batch, {!recompute}, or {!audit}. *)
+
+val recompute : t -> unit
+(** Force the full candidate rebuild that overload shedding deferred —
+    the "scheduled recompute" a server runs off the query path.
+    Leaves degraded mode; a no-op engine-semantically when not
+    degraded (it still pays the O(n · ball) rebuild). *)
+
+val quarantines : t -> int
+(** Audits that found divergence and triggered the self-healing
+    rebuild (see {!audit}). *)
+
 val audit : t -> audit_report
 (** Full recompute, field-by-field comparison, reconciliation (the
-    scratch result replaces the incremental caches).  Counted in
-    {!stats}. *)
+    scratch result replaces the incremental caches).  A degraded
+    engine pays its deferred rebuild first, so the comparison is
+    always against fresh incremental state.  On divergence the engine
+    {e quarantines}: the divergent state is written to a post-mortem
+    snapshot under [config.postmortem] (best-effort, never raises),
+    the candidate state is rebuilt from scratch, and
+    [stats.quarantines] is bumped.  Counted in {!stats}. *)
 
 val stats : t -> stats
 
@@ -96,3 +127,23 @@ val state_digest : t -> string
     (rejections, cache hits, explicit audits) are excluded, so a
     journal replay of the accepted batches reproduces the digest
     exactly — the kill-and-resume contract. *)
+
+val encode_state : t -> Fn_obs.Jsonx.t
+(** The replayable state as one JSON object ([digest], [faulty],
+    [events], [batches], [alive]) — the payload journal compaction
+    snapshots in place of the batch prefix it drops.  Only replayable
+    inputs are stored; derived state (the kept set) is recomputed on
+    {!restore} and checked through [digest], keeping snapshot lines
+    small on million-node views.  Do not encode a {!degraded} engine:
+    its answers depend on deferred candidate state a mask-only
+    snapshot cannot carry. *)
+
+val restore : t -> Fn_obs.Jsonx.t -> (unit, string) result
+(** Rebuild a {e fresh} engine (no batches applied yet) from
+    {!encode_state} output: apply the snapshot's fault mask as one
+    batch — by the incremental==scratch invariant this reproduces the
+    snapshotting engine's cascade exactly — adopt the snapshot's
+    event/batch counters, and verify the full {!state_digest} byte
+    for byte.  [Error] on a non-fresh engine, a
+    malformed snapshot, or any verification mismatch (discard the
+    engine in that case). *)

@@ -8,6 +8,34 @@ type command =
   | State
   | Quit
 
+type error =
+  | Bad_command of string
+  | Bad_node of string
+  | Bad_event of string
+  | Line_too_long of int
+  | Batch_too_large of int
+
+type limits = {
+  max_line_bytes : int;
+  max_batch_events : int;
+}
+
+let default_limits = { max_line_bytes = 65536; max_batch_events = 4096 }
+
+let error_code = function
+  | Bad_command _ -> "bad-command"
+  | Bad_node _ -> "bad-node"
+  | Bad_event _ -> "bad-event"
+  | Line_too_long _ -> "line-too-long"
+  | Batch_too_large _ -> "batch-too-large"
+
+let error_detail = function
+  | Bad_command d | Bad_node d | Bad_event d -> d
+  | Line_too_long n -> Printf.sprintf "%d bytes (limit applies to the whole line)" n
+  | Batch_too_large n -> Printf.sprintf "%d events in one apply" n
+
+let error_to_string e = error_code e ^ " " ^ error_detail e
+
 let float_hex f = Printf.sprintf "%h" f
 
 let render = function
@@ -23,34 +51,50 @@ let render = function
 let tokens line =
   List.filter (fun s -> String.length s > 0) (String.split_on_char ' ' line)
 
-let node_arg word v k =
+(* Total decoding of one node argument: anything that is not an
+   in-range id is the same typed refusal, whether it failed to parse,
+   is negative, or walks off the end of the universe.  Hostile input
+   must not reach the engine's invalid_arg guards. *)
+let node_arg ~n word v k =
   match int_of_string_opt v with
-  | Some v -> Ok (Some (k v))
-  | None -> Error (Printf.sprintf "%s needs a node id, got %S" word v)
+  | Some id when id >= 0 && id < n -> Ok (Some (k id))
+  | Some id -> Error (Bad_node (Printf.sprintf "%s wants a node in [0, %d), got %d" word n id))
+  | None -> Error (Bad_node (Printf.sprintf "%s needs a node id, got %S" word v))
 
-let parse line =
-  let line = String.trim line in
-  if String.length line = 0 || line.[0] = '#' then Ok None
+let parse ?(limits = default_limits) ~n line =
+  if String.length line > limits.max_line_bytes then
+    Error (Line_too_long (String.length line))
   else
-    match tokens line with
-    | [] -> Ok None
-    | [ "alive?"; v ] -> node_arg "alive?" v (fun v -> Alive v)
-    | [ "certificate?"; v ] -> node_arg "certificate?" v (fun v -> Certificate v)
-    | [ "alpha?" ] -> Ok (Some Alpha)
-    | [ "stats?" ] -> Ok (Some Stats)
-    | [ "state?" ] -> Ok (Some State)
-    | [ "audit!" ] -> Ok (Some Audit)
-    | [ "quit" ] -> Ok (Some Quit)
-    | "apply" :: evs -> (
-      match evs with
-      | [] -> Error "apply needs at least one f<id>/r<id> event"
-      | _ :: _ ->
-        let rec decode acc = function
-          | [] -> Ok (Some (Apply (List.rev acc)))
-          | tok :: rest -> (
-            match Event.of_token tok with
-            | Some e -> decode (e :: acc) rest
-            | None -> Error (Printf.sprintf "bad event token %S (want f<id>/r<id>)" tok))
-        in
-        decode [] evs)
-    | cmd :: _ -> Error (Printf.sprintf "unknown command %S" cmd)
+    let line = String.trim line in
+    if String.length line = 0 || line.[0] = '#' then Ok None
+    else
+      match tokens line with
+      | [] -> Ok None
+      | [ "alive?"; v ] -> node_arg ~n "alive?" v (fun v -> Alive v)
+      | [ "certificate?"; v ] -> node_arg ~n "certificate?" v (fun v -> Certificate v)
+      | [ "alpha?" ] -> Ok (Some Alpha)
+      | [ "stats?" ] -> Ok (Some Stats)
+      | [ "state?" ] -> Ok (Some State)
+      | [ "audit!" ] -> Ok (Some Audit)
+      | [ "quit" ] -> Ok (Some Quit)
+      | "apply" :: evs -> (
+        match evs with
+        | [] -> Error (Bad_event "apply needs at least one f<id>/r<id> event")
+        | _ :: _ when List.length evs > limits.max_batch_events ->
+          Error (Batch_too_large (List.length evs))
+        | _ :: _ ->
+          let rec decode acc = function
+            | [] -> Ok (Some (Apply (List.rev acc)))
+            | tok :: rest -> (
+              match Event.of_token tok with
+              | Some e ->
+                let v = Fn_faults.Churn.event_node e in
+                if v >= 0 && v < n then decode (e :: acc) rest
+                else
+                  Error
+                    (Bad_node (Printf.sprintf "event %s names a node outside [0, %d)" tok n))
+              | None ->
+                Error (Bad_event (Printf.sprintf "bad event token %S (want f<id>/r<id>)" tok)))
+          in
+          decode [] evs)
+      | cmd :: _ -> Error (Bad_command (Printf.sprintf "unknown command %S" cmd))

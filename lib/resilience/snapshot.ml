@@ -1,0 +1,55 @@
+module J = Fn_obs.Jsonx
+
+(* One self-describing JSON object per file, staged tmp+rename so a
+   reader never observes a half-written snapshot.  The header fields
+   are the same binding discipline as Journal's meta line; the caller
+   payload lives under "value". *)
+
+let document ~meta value =
+  J.Obj
+    ((("kind", J.Str "snapshot-file") :: ("version", J.Int 1) :: meta)
+    @ [ ("value", value) ])
+
+let tmp_path path = path ^ ".tmp"
+
+let write ~path ~meta value =
+  let tmp = tmp_path path in
+  match
+    let oc = open_out_gen [ Open_wronly; Open_trunc; Open_creat ] 0o644 tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (J.to_string (document ~meta value));
+        output_char oc '\n';
+        flush oc)
+  with
+  | exception Sys_error m -> Error ("snapshot write failed: " ^ m)
+  | () -> (
+    match Sys.rename tmp path with
+    | exception Sys_error m -> Error ("snapshot rename failed: " ^ m)
+    | () -> Ok ())
+
+let read ~path ~meta =
+  if not (Sys.file_exists path) then Error ("no snapshot at " ^ path)
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> match input_line ic with line -> Some line | exception End_of_file -> None)
+    with
+    | exception Sys_error m -> Error ("snapshot read failed: " ^ m)
+    | None -> Error (path ^ " is empty")
+    | Some line -> (
+      match J.parse line with
+      | None -> Error (path ^ " is not a JSON snapshot")
+      | Some json -> (
+        match J.member "kind" json with
+        | Some (J.Str "snapshot-file") -> (
+          match Journal.check_meta ~requested:meta json with
+          | Error _ as e -> e
+          | Ok () -> (
+            match J.member "value" json with
+            | Some v -> Ok v
+            | None -> Error (path ^ " has no value field")))
+        | _ -> Error (path ^ " is not a snapshot file")))

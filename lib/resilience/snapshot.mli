@@ -1,0 +1,32 @@
+(** Atomic one-object JSON snapshot files.
+
+    A snapshot is a single JSON object holding a caller payload under
+    ["value"], plus the same meta-binding header discipline as
+    {!Journal}: the writer records the parameters that determine the
+    payload (seed, topology, thresholds, ...), and a reader that
+    requests a different binding is refused with the full diff.
+
+    Writes are staged to [path ^ ".tmp"] and installed with one
+    atomic rename — a process killed mid-write leaves the previous
+    snapshot (or no file) intact, never a torn one.  This is the
+    persistence primitive behind journal compaction payloads and the
+    online engine's quarantine post-mortems. *)
+
+val write :
+  path:string ->
+  meta:(string * Fn_obs.Jsonx.t) list ->
+  Fn_obs.Jsonx.t ->
+  (unit, string) result
+(** Atomically replace [path] with a snapshot of the given payload and
+    binding meta.  [Error] carries the failed syscall's message; the
+    target is untouched on error. *)
+
+val read :
+  path:string ->
+  meta:(string * Fn_obs.Jsonx.t) list ->
+  (Fn_obs.Jsonx.t, string) result
+(** Load the payload, refusing a snapshot whose header disagrees with
+    [meta] on any requested key (see {!Journal.check_meta}). *)
+
+val tmp_path : string -> string
+(** The staging path {!write} uses, exposed for tests. *)

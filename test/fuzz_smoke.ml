@@ -1,0 +1,28 @@
+(* Fuzz smoke: 500 seeded grammar-aware fuzz lines against an
+   in-process faultnetd session (see Fn_online.Fuzz).  Attached to
+   @runtest via the @fuzz-smoke alias, so every test run re-proves the
+   two crash-only protocol obligations on a fresh engine: no input
+   line raises, and replayable state moves only on [ok] replies.  The
+   seed is fixed — a failure here is a deterministic regression, and
+   the offending line belongs in test/fixtures/fuzz/corpus.txt. *)
+
+let () =
+  let view =
+    Fn_graph.Gview.Csr (fst (Fn_topology.Torus.cube ~d:2 ~side:8))
+  in
+  let cfg =
+    { Fn_online.Engine.default_config with Fn_online.Engine.alpha = 1.0; epsilon = 0.5 }
+  in
+  let engine = Fn_online.Engine.create ~cfg view in
+  let r = Fn_online.Fuzz.run engine ~seed:0xf5 ~count:500 in
+  Printf.printf "fuzz-smoke: %d lines, %d ok, %d err, %d ignored, %d exceptions, %d violations\n"
+    r.Fn_online.Fuzz.lines r.Fn_online.Fuzz.ok r.Fn_online.Fuzz.err r.Fn_online.Fuzz.ignored
+    (List.length r.Fn_online.Fuzz.exceptions)
+    (List.length r.Fn_online.Fuzz.violations);
+  List.iter
+    (fun (l, e) -> Printf.printf "  exception on %S: %s\n" l e)
+    r.Fn_online.Fuzz.exceptions;
+  List.iter
+    (fun l -> Printf.printf "  state moved on non-ok reply to %S\n" l)
+    r.Fn_online.Fuzz.violations;
+  if not (Fn_online.Fuzz.clean r) then exit 1

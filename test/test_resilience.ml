@@ -436,6 +436,136 @@ let test_journal_codecs () =
   check_bool "array rejects a bad element" true
     (ac.decode (J.List [ J.Int 1; J.Str "x" ]) = None)
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_meta_mismatch_lists_every_key () =
+  let stored = J.Obj [ ("kind", J.Str "meta"); ("seed", J.Int 7); ("quick", J.Bool true) ] in
+  let requested =
+    [ ("seed", J.Int 8); ("quick", J.Bool false); ("mode", J.Str "full") ]
+  in
+  match Journal.check_meta ~requested stored with
+  | Ok () -> Alcotest.fail "expected mismatch"
+  | Error e ->
+    (* every divergent key appears, with the journal's value AND the
+       run's value — the operator sees the whole diff at once *)
+    List.iter
+      (fun needle ->
+        check_bool (Printf.sprintf "refusal mentions %S" needle) true
+          (contains ~needle e))
+      [ "seed"; "7"; "8"; "quick"; "true"; "false"; "mode"; "nothing"; "\"full\"" ];
+    (* agreement on every requested key passes even with extra stored fields *)
+    check_bool "matching subset binds" true
+      (Journal.check_meta ~requested:[ ("seed", J.Int 7) ] stored = Ok ())
+
+let test_journal_compact () =
+  with_temp_journal (fun path ->
+      let j = journal_exn (Journal.open_ ~path ~meta:meta7) in
+      for i = 0 to 9 do
+        Journal.record_trial j ~scope:"T" ~index:i (J.Int (100 + i))
+      done;
+      Journal.record_trial j ~scope:"U" ~index:0 (J.Int 55);
+      Journal.record_outcome j ~id:"E5" (J.Bool true);
+      let snap = J.Obj [ ("sum", J.Int 836) ] in
+      (match Journal.compact j ~scope:"T" ~upto:8 ~snapshot:snap with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("compact failed: " ^ e));
+      check_bool "snapshot visible" true (Journal.find_snapshot j ~scope:"T" = Some (8, snap));
+      check_bool "prefix trial dropped" true (Journal.find_trial j ~scope:"T" ~index:3 = None);
+      check_bool "suffix trial kept" true
+        (Journal.find_trial j ~scope:"T" ~index:8 = Some (J.Int 108));
+      check_bool "other scope untouched" true
+        (Journal.find_trial j ~scope:"U" ~index:0 = Some (J.Int 55));
+      (* appending continues on the compacted file *)
+      Journal.record_trial j ~scope:"T" ~index:10 (J.Int 110);
+      Journal.close j;
+      let j2 = journal_exn (Journal.open_ ~path ~meta:meta7) in
+      check_int "torn-free after rewrite" 0 (Journal.torn j2);
+      check_bool "snapshot survives reopen" true
+        (Journal.find_snapshot j2 ~scope:"T" = Some (8, snap));
+      check_bool "post-compaction append survives" true
+        (Journal.find_trial j2 ~scope:"T" ~index:10 = Some (J.Int 110));
+      check_bool "outcome survives" true (Journal.find_outcome j2 ~id:"E5" = Some (J.Bool true));
+      (* recovered = snapshot + 3 retained T trials + U trial + outcome *)
+      check_int "recovery is O(snapshot + suffix)" 6 (Journal.recovered j2);
+      Journal.close j2)
+
+exception Simulated_kill
+
+let test_compact_killed_before_rename () =
+  with_temp_journal (fun path ->
+      let j = journal_exn (Journal.open_ ~path ~meta:meta7) in
+      for i = 0 to 5 do
+        Journal.record_trial j ~scope:"T" ~index:i (J.Int i)
+      done;
+      Journal.close j;
+      let before = read_file path in
+      let j = journal_exn (Journal.open_ ~path ~meta:meta7) in
+      (* SIGKILL between the staged write and the rename, simulated by
+         raising from the fault-injection hook at exactly that point *)
+      (match
+         Journal.compact j
+           ~on_tmp_written:(fun () -> raise Simulated_kill)
+           ~scope:"T" ~upto:4 ~snapshot:(J.Str "partial")
+       with
+      | exception Simulated_kill -> ()
+      | Ok () -> Alcotest.fail "compact survived the kill"
+      | Error e -> Alcotest.fail ("compact errored instead of dying: " ^ e));
+      Journal.close j;
+      check_bool "staging file left behind" true
+        (Sys.file_exists (Journal.compact_tmp_path path));
+      check_string "old journal still governs" before (read_file path);
+      (* the next open discards the stale staging file and recovers
+         everything from the (complete) old journal *)
+      let j2 = journal_exn (Journal.open_ ~path ~meta:meta7) in
+      check_bool "stale tmp discarded" false (Sys.file_exists (Journal.compact_tmp_path path));
+      check_bool "no snapshot installed" true (Journal.find_snapshot j2 ~scope:"T" = None);
+      check_int "all trials recovered" 6 (Journal.recovered j2);
+      Journal.close j2)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot files                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_roundtrip () =
+  with_temp_journal (fun path ->
+      let payload = J.Obj [ ("digest", J.Str "abc"); ("faulty", J.List [ J.Int 3 ]) ] in
+      (match Snapshot.write ~path ~meta:meta7 payload with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("snapshot write failed: " ^ e));
+      check_bool "no staging residue" false (Sys.file_exists (Snapshot.tmp_path path));
+      (match Snapshot.read ~path ~meta:meta7 with
+      | Ok v -> check_bool "payload round-trips" true (v = payload)
+      | Error e -> Alcotest.fail ("snapshot read failed: " ^ e));
+      (* a subset binding reads fine; a divergent one is refused with both sides *)
+      (match Snapshot.read ~path ~meta:[ ("seed", J.Int 7) ] with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("subset meta refused: " ^ e));
+      (match Snapshot.read ~path ~meta:[ ("seed", J.Int 9) ] with
+      | Ok _ -> Alcotest.fail "divergent meta accepted"
+      | Error e ->
+        check_bool "mismatch lists both sides" true
+          (contains ~needle:"7" e && contains ~needle:"9" e));
+      (* overwrite is atomic: the new payload fully replaces the old *)
+      (match Snapshot.write ~path ~meta:meta7 (J.Int 42) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("snapshot rewrite failed: " ^ e));
+      match Snapshot.read ~path ~meta:meta7 with
+      | Ok v -> check_bool "rewrite replaces payload" true (v = J.Int 42)
+      | Error e -> Alcotest.fail ("reread failed: " ^ e))
+
+let test_snapshot_rejects_garbage () =
+  with_temp_journal (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "not json at all\n";
+      close_out oc;
+      match Snapshot.read ~path ~meta:[] with
+      | Ok _ -> Alcotest.fail "garbage accepted"
+      | Error _ -> ())
+
 let test_trials_checkpoint_resume () =
   with_temp_journal (fun path ->
       let meta = [ ("seed", J.Int 1) ] in
@@ -483,12 +613,6 @@ let binary =
   match List.find_opt Sys.file_exists candidates with
   | Some p -> p
   | None -> List.hd candidates
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
 
 let test_cli_resume_byte_identical () =
   if not (Sys.file_exists binary) then
@@ -566,8 +690,16 @@ let () =
         [
           case "roundtrip" test_journal_roundtrip;
           case "meta mismatch" test_journal_meta_mismatch;
+          case "meta mismatch lists every key" test_meta_mismatch_lists_every_key;
           case "torn tail" test_journal_torn_tail;
           case "codecs" test_journal_codecs;
+          case "compaction" test_journal_compact;
+          case "kill during compaction" test_compact_killed_before_rename;
+        ] );
+      ( "snapshot",
+        [
+          case "atomic roundtrip" test_snapshot_roundtrip;
+          case "rejects garbage" test_snapshot_rejects_garbage;
         ] );
       ( "end-to-end",
         [ case "kill and resume" test_cli_resume_byte_identical ] );
