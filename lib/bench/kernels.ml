@@ -8,6 +8,7 @@ let substrate = "kernels"
 let ablations = "ablations"
 let scale = "scale"
 let online = "online"
+let spectral = "spectral"
 
 let rng0 = Fn_prng.Rng.create 0xBEC4
 let fresh () = Fn_prng.Rng.copy rng0
@@ -534,5 +535,80 @@ let () =
     (fun () ->
       Faultnet.Low_expansion.default Fn_expansion.Cut.Node ~alive:(Lazy.force small_fragment)
         (Lazy.force mesh4) ~threshold:0.4)
+
+(* ---- spectral backends ---- *)
+
+(* Near-disconnected survivor instance at n >= 1e5: two random
+   6-regular expander halves joined by a handful of bridge edges,
+   with an iid fault mask on top.  lambda2 collapses toward 0 while
+   lambda3 stays at the expander gap, which is exactly the regime
+   where Power's per-vector iteration count balloons and the Krylov
+   backends win. *)
+let barbell1e5 =
+  lazy
+    (let rng = fresh () in
+     let half = 51_200 in
+     let a = Fn_topology.Expander.random_regular rng ~n:half ~d:6 in
+     let b = Fn_topology.Expander.random_regular rng ~n:half ~d:6 in
+     let edges = ref [] in
+     Fn_graph.Graph.iter_edges a (fun u v -> edges := (u, v) :: !edges);
+     Fn_graph.Graph.iter_edges b (fun u v -> edges := (u + half, v + half) :: !edges);
+     for i = 0 to 7 do
+       edges := ((i * 97), half + (i * 131)) :: !edges
+     done;
+     let g = Fn_graph.Graph.of_edges (2 * half) !edges in
+     let faults = Fn_faults.Random_faults.nodes_iid rng g 0.02 in
+     (g, faults.Fn_faults.Fault_set.alive))
+
+(* The Power answer on the same masked instance, computed once
+   un-timed: the Krylov kernels assert 1e-6 agreement against it, so
+   every bench-smoke pass doubles as a large-n differential test. *)
+let barbell1e5_power_ref =
+  lazy
+    (let g, alive = Lazy.force barbell1e5 in
+     (Fn_expansion.Spectral.lambda2 ~alive ~method_:Fn_expansion.Spectral.Method.Power g)
+       .Fn_expansion.Spectral.lambda2)
+
+let check_agreement name reference r =
+  let got = r.Fn_expansion.Spectral.lambda2 in
+  if abs_float (got -. reference) > 1e-6 then
+    failwith
+      (Printf.sprintf "%s: lambda2 %.9g disagrees with Power reference %.9g" name got
+         reference);
+  r
+
+let () =
+  reg ~suite:spectral ~items:102_400 "power_postfault_1e5" (dep barbell1e5) (fun () ->
+      let g, alive = Lazy.force barbell1e5 in
+      Fn_expansion.Spectral.lambda2 ~alive ~method_:Fn_expansion.Spectral.Method.Power g)
+
+let () =
+  reg ~suite:spectral ~items:102_400 "lanczos_postfault_1e5"
+    (deps [ dep barbell1e5; dep barbell1e5_power_ref ])
+    (fun () ->
+      let g, alive = Lazy.force barbell1e5 in
+      check_agreement "lanczos_postfault_1e5"
+        (Lazy.force barbell1e5_power_ref)
+        (Fn_expansion.Spectral.lambda2 ~alive ~method_:Fn_expansion.Spectral.Method.Lanczos g))
+
+let () =
+  reg ~suite:spectral ~items:102_400 "shift_invert_postfault_1e5"
+    (deps [ dep barbell1e5; dep barbell1e5_power_ref ])
+    (fun () ->
+      let g, alive = Lazy.force barbell1e5 in
+      check_agreement "shift_invert_postfault_1e5"
+        (Lazy.force barbell1e5_power_ref)
+        (Fn_expansion.Spectral.lambda2 ~alive
+           ~method_:Fn_expansion.Spectral.Method.Shift_invert g))
+
+(* Clean 100x100 torus (n = 1e4): the gap is ~2e-3, so Power burns its
+   whole iteration budget while Lanczos converges inside one restart
+   cycle — the comparative data point for locally flat topologies. *)
+let torus100 = lazy (fst (Fn_topology.Torus.cube ~d:2 ~side:100))
+
+let () =
+  reg ~suite:spectral ~items:10_000 "lanczos_torus100" (dep torus100) (fun () ->
+      Fn_expansion.Spectral.lambda2
+        ~method_:Fn_expansion.Spectral.Method.Lanczos (Lazy.force torus100))
 
 let all = List.rev !kernels_rev

@@ -8,12 +8,67 @@ open Fn_graph
     0 = λ₁ < λ₂ <= ... <= 2, and the Cheeger inequality sandwiches
     the conductance φ:  λ₂/2 <= φ <= sqrt(2 λ₂).  For a d-regular
     graph, edge expansion = φ·d on balanced cuts, giving cheap
-    two-sided bounds that our tests check against {!Exact}. *)
+    two-sided bounds that our tests check against {!Exact}.
+
+    Since this layer grew a method registry, every entry point is a
+    front for one of three backends over the same shared operator
+    ({!Spectral_op}):
+
+    - {!Method.Power} — the historical fused power iteration, kept
+      bit-exact; the reference every other method is differential-
+      tested against, and the default at small sizes.
+    - {!Method.Lanczos} — thick-restart Lanczos with selective
+      (DGKS-gated) reorthogonalization: both bottom eigenpairs from
+      one Krylov basis, converging in O(1/sqrt(gap)) operator
+      applications where power iteration needs O(1/gap).  This is the
+      method that survives the near-disconnected masks {!Prune}
+      manufactures.
+    - {!Method.Shift_invert} — the same Lanczos on (σI - M)^{-1} with
+      σ just above the trivial eigenvalue, each application a
+      matrix-free conjugate-gradient solve.  The inversion maps a
+      collapsed bottom cluster to the well-separated top of the
+      inverted spectrum; worth it only when a gap hint says the mask
+      is nearly disconnected.
+
+    All methods are deterministic (the only "randomness" is a fixed
+    cosine start — no {!Fn_prng} state is drawn) and bit-stable
+    across [?domains]. *)
+
+(** Backend registry for the spectral solvers. *)
+module Method : sig
+  type t = Auto | Power | Lanczos | Shift_invert
+
+  val to_string : t -> string
+
+  val of_string : string -> t option
+  (** Inverse of {!to_string}; also accepts ["shift_invert"]. *)
+
+  val all : t list
+
+  val power_max_nodes : int
+  (** [Auto] resolves to [Power] strictly below this alive-node count
+      (50_000), which keeps every default experiment byte-identical
+      to the pre-registry code. *)
+
+  val shift_invert_gap : float
+  (** [Auto] with a [gap_hint] below this (1e-6) resolves to
+      [Shift_invert]: the mask is near-disconnected enough that
+      inverting the operator pays for the inner solves. *)
+
+  val select : n_alive:int -> ?gap_hint:float -> t -> t
+  (** Resolve [Auto] per graph size and optional spectral-gap hint (a
+      previous lambda2 for a nearby mask, e.g. from the online warm
+      cache); concrete methods pass through unchanged.  Never returns
+      [Auto]. *)
+end
 
 type result = {
   lambda2 : float;  (** algebraic connectivity of the normalized Laplacian *)
   fiedler : float array;  (** the embedding x = D^{-1/2} y₂, zero for dead nodes *)
   iterations : int;
+      (** operator applications consumed: power-iteration steps for
+          [Power], total matvecs (including inner CG) for the Krylov
+          methods *)
 }
 
 val lambda2 :
@@ -22,21 +77,38 @@ val lambda2 :
   ?domains:int ->
   ?max_iter:int ->
   ?tol:float ->
+  ?method_:Method.t ->
+  ?gap_hint:float ->
   Graph.t ->
   result
-(** Power iteration on 2I - L with deflation of the trivial
-    eigenvector; O(max_iter * m).  The alive mask restricts the
-    operator to the induced subgraph.  Isolated alive nodes are
-    permitted (they contribute λ = 1 rows); the graph restricted to
-    [alive] should be connected for λ₂ to have its usual meaning.
-    Defaults: [max_iter] 1000, [tol] 1e-9, [domains] 1.
+(** λ₂ and the Fiedler embedding of the alive-restricted operator.
+    The alive mask restricts the operator to the induced subgraph.
+    Isolated alive nodes are permitted (they contribute λ = 1 rows);
+    the graph restricted to [alive] should be connected for λ₂ to
+    have its usual meaning.  Defaults: [max_iter] 1000, [tol] 1e-9,
+    [domains] 1, [method_] [Auto] (resolved by {!Method.select}; the
+    [Power] resolution is bit-identical to the historical code).
 
     With [domains > 1] the matvec is chunked over a
     {!Fn_parallel.Par.Pool} of worker domains (on graphs large enough
     for the barrier to pay for itself).  Each matrix row touches only
     row-local state, so the result is bit-identical for every domain
     count — parallelism here is an implementation detail, not an
-    algorithm change. *)
+    algorithm change.  This holds for every method. *)
+
+val lambda2_v :
+  ?obs:Fn_obs.Sink.t ->
+  ?alive:Bitset.t ->
+  ?domains:int ->
+  ?max_iter:int ->
+  ?tol:float ->
+  ?method_:Method.t ->
+  ?gap_hint:float ->
+  Gview.t ->
+  result
+(** {!lambda2} over any {!Gview.t}: implicit topologies get the same
+    spectral path, paying one neighbor-closure call per row per
+    matvec instead of a CSR scan. *)
 
 val fiedler_pair :
   ?obs:Fn_obs.Sink.t ->
@@ -44,6 +116,8 @@ val fiedler_pair :
   ?domains:int ->
   ?max_iter:int ->
   ?tol:float ->
+  ?method_:Method.t ->
+  ?gap_hint:float ->
   Graph.t ->
   float array * float array
 (** Two orthogonal embeddings spanning the bottom of the spectrum:
@@ -51,7 +125,20 @@ val fiedler_pair :
     λ₂ is (near-)degenerate — e.g. the row and column modes of a
     square mesh — a single power-iteration vector is an arbitrary mix
     of the eigenspace; sweeping several rotations of the pair recovers
-    the axis-aligned cuts (see {!Estimate}). *)
+    the axis-aligned cuts (see {!Estimate}).  The Krylov backends get
+    both vectors from one basis; [Power] runs its two deflated
+    iterations exactly as before. *)
+
+val fiedler_pair_v :
+  ?obs:Fn_obs.Sink.t ->
+  ?alive:Bitset.t ->
+  ?domains:int ->
+  ?max_iter:int ->
+  ?tol:float ->
+  ?method_:Method.t ->
+  ?gap_hint:float ->
+  Gview.t ->
+  float array * float array
 
 val solve :
   ?obs:Fn_obs.Sink.t ->
@@ -60,23 +147,40 @@ val solve :
   ?max_iter:int ->
   ?tol:float ->
   ?warm:float array * float array ->
+  ?method_:Method.t ->
+  ?gap_hint:float ->
   Graph.t ->
   result * float array
 (** [lambda2] and [fiedler_pair] fused: the Fiedler vector of the
-    result doubles as the first vector of the pair (both are the same
-    deterministic power iteration), so one call does the work of two —
-    two power iterations instead of three.  Returns the {!result} and
-    the second, deflated embedding.  Without [warm], bit-identical to
-    calling {!lambda2} and {!fiedler_pair} separately.
+    result doubles as the first vector of the pair, so one call does
+    the work of two.  Returns the {!result} and the second, deflated
+    embedding.  Without [warm] and under the [Power] resolution,
+    bit-identical to calling {!lambda2} and {!fiedler_pair}
+    separately.
 
-    [warm] seeds the two power iterations with a previous embedding
-    pair (e.g. the output of an earlier [solve] on a nearby alive
-    mask) instead of the deterministic cosine start; when the mask
-    barely moved this converges in a handful of iterations.  A warm
-    vector that deflates to (near) zero under the new mask falls back
-    to the cold start.  Warm results are {e not} bit-identical to cold
-    ones — callers needing exact reproducibility must stay cold (see
-    {!residual} for the check online callers gate warm starts on). *)
+    [warm] seeds the solve with a previous embedding pair (e.g. the
+    output of an earlier [solve] on a nearby alive mask) instead of
+    the deterministic cosine start; when the mask barely moved this
+    converges in a handful of iterations.  Warm starts are
+    method-aware: [Power] seeds its two iterations with the pair,
+    the Krylov methods seed the first basis vector with the lifted
+    first embedding.  A warm vector that deflates to (near) zero
+    under the new mask falls back to the cold start.  Warm results
+    are {e not} bit-identical to cold ones — callers needing exact
+    reproducibility must stay cold (see {!residual} for the check
+    online callers gate warm starts on). *)
+
+val solve_v :
+  ?obs:Fn_obs.Sink.t ->
+  ?alive:Bitset.t ->
+  ?domains:int ->
+  ?max_iter:int ->
+  ?tol:float ->
+  ?warm:float array * float array ->
+  ?method_:Method.t ->
+  ?gap_hint:float ->
+  Gview.t ->
+  result * float array
 
 val residual :
   ?alive:Bitset.t -> Graph.t -> float array -> float
@@ -84,8 +188,10 @@ val residual :
     Fiedler vector) is from an eigenvector of the current
     alive-restricted operator: the L2 norm of [My - (y·My)y] for the
     lifted, deflated, normalized [y].  Small (≲ 0.1) means [x] is
-    still a good power-iteration start after a mask change;
-    [infinity] when [x] has no alive support left. *)
+    still a good warm start after a mask change; [infinity] when [x]
+    has no alive support left. *)
+
+val residual_v : ?alive:Bitset.t -> Gview.t -> float array -> float
 
 val cheeger_lower : result -> float
 (** λ₂ / 2 — a certified lower bound on conductance. *)

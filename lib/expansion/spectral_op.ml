@@ -1,0 +1,228 @@
+open Fn_graph
+
+type t = {
+  view : Gview.t;
+  n : int;
+  alive : Bitset.t option;
+  deg : int array;
+  sqrt_deg : float array;
+  v1 : float array;
+  domains : int;
+}
+
+(* Row ranges below this node count are not worth a pool barrier per
+   matvec: the synchronization would cost more than the arithmetic. *)
+let par_node_threshold = 1024
+
+let create ?alive ?(domains = 1) view =
+  let n = Gview.num_nodes view in
+  let is_alive v = match alive with None -> true | Some m -> Bitset.mem m v in
+  let deg = Array.make n 0 in
+  (match view with
+  | Gview.Csr g ->
+    for v = 0 to n - 1 do
+      if is_alive v then
+        deg.(v) <-
+          (match alive with None -> Graph.degree g v | Some m -> Graph.alive_degree g m v)
+    done
+  | Gview.Implicit r ->
+    for v = 0 to n - 1 do
+      if is_alive v then
+        deg.(v) <-
+          (match alive with
+          | None -> r.Gview.degree v
+          | Some m ->
+            let c = ref 0 in
+            r.Gview.iter_neighbors v (fun w -> if Bitset.mem m w then incr c);
+            !c)
+    done);
+  let sqrt_deg = Array.map (fun d -> sqrt (float_of_int d)) deg in
+  (* trivial eigenvector of 2I - L: D^{1/2} 1, normalized *)
+  let v1 = Array.make n 0.0 in
+  let norm1 = sqrt (Array.fold_left (fun acc d -> acc +. float_of_int d) 0.0 deg) in
+  if norm1 > 0.0 then
+    for v = 0 to n - 1 do
+      if is_alive v then v1.(v) <- sqrt_deg.(v) /. norm1
+    done;
+  { view; n; alive; deg; sqrt_deg; v1; domains }
+
+let is_alive t v = match t.alive with None -> true | Some m -> Bitset.mem m v
+
+let alive_count t = match t.alive with None -> t.n | Some m -> Bitset.cardinal m
+
+(* Each row of the operator touches only row-local state, so the
+   parallel matvec computes bit-identical results for every domain
+   count: parallelism changes which domain evaluates a row, never
+   the order of floating-point operations within it. *)
+let apply_rows t src dst lo hi =
+  let alive = t.alive in
+  let is_alive v = match alive with None -> true | Some m -> Bitset.mem m v in
+  let deg = t.deg and sqrt_deg = t.sqrt_deg in
+  match t.view with
+  | Gview.Csr g ->
+    for v = lo to hi - 1 do
+      if is_alive v then begin
+        if deg.(v) = 0 then dst.(v) <- src.(v)
+        else begin
+          let acc = ref 0.0 in
+          Graph.iter_neighbors g v (fun w ->
+              if is_alive w && deg.(w) > 0 then acc := !acc +. (src.(w) /. sqrt_deg.(w)));
+          dst.(v) <- src.(v) +. (!acc /. sqrt_deg.(v))
+        end
+      end
+      else dst.(v) <- 0.0
+    done
+  | Gview.Implicit r ->
+    for v = lo to hi - 1 do
+      if is_alive v then begin
+        if deg.(v) = 0 then dst.(v) <- src.(v)
+        else begin
+          let acc = ref 0.0 in
+          r.Gview.iter_neighbors v (fun w ->
+              if is_alive w && deg.(w) > 0 then acc := !acc +. (src.(w) /. sqrt_deg.(w)));
+          dst.(v) <- src.(v) +. (!acc /. sqrt_deg.(v))
+        end
+      end
+      else dst.(v) <- 0.0
+    done
+
+let with_apply t f =
+  if t.domains > 1 && t.n >= par_node_threshold then
+    Fn_parallel.Par.Pool.with_pool ~domains:t.domains (fun pool ->
+        let workers = Fn_parallel.Par.Pool.size pool in
+        let chunk = (t.n + workers - 1) / workers in
+        f (fun src dst ->
+            Fn_parallel.Par.Pool.run pool (fun w ->
+                let lo = w * chunk in
+                let hi = min t.n (lo + chunk) in
+                if lo < hi then apply_rows t src dst lo hi)))
+  else f (fun src dst -> apply_rows t src dst 0 t.n)
+
+(* gather-reduced row loop over a pre-scaled masked source: per edge a
+   single u gather, no mask probe (dead/isolated entries of u are 0,
+   an exact [+. 0.] in the row sum) *)
+let apply_rows_fast t u src dst lo hi =
+  let deg = t.deg and sqrt_deg = t.sqrt_deg in
+  let sum_rows iter =
+    for v = lo to hi - 1 do
+      if is_alive t v then begin
+        if deg.(v) = 0 then dst.(v) <- src.(v)
+        else begin
+          let acc = ref 0.0 in
+          iter v (fun w -> acc := !acc +. u.(w));
+          dst.(v) <- src.(v) +. (!acc /. sqrt_deg.(v))
+        end
+      end
+      else dst.(v) <- 0.0
+    done
+  in
+  match t.view with
+  | Gview.Csr g -> sum_rows (Graph.iter_neighbors g)
+  | Gview.Implicit r -> sum_rows r.Gview.iter_neighbors
+
+let scale_source t u src lo hi =
+  let deg = t.deg and sqrt_deg = t.sqrt_deg in
+  for i = lo to hi - 1 do
+    u.(i) <-
+      (if is_alive t i && deg.(i) > 0 then src.(i) /. sqrt_deg.(i) else 0.0)
+  done
+
+(* flat adjacency copy for the CSR arm's fast path: one O(m) pass per
+   [with_apply_fast] (amortized over the solve's many matvecs) buys a
+   closure-free row loop in neighbor order identical to
+   [Graph.iter_neighbors] *)
+let flat_adjacency g n =
+  let xa = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    let c = ref 0 in
+    Graph.iter_neighbors g v (fun _ -> incr c);
+    xa.(v + 1) <- xa.(v) + !c
+  done;
+  let ad = Array.make xa.(n) 0 in
+  for v = 0 to n - 1 do
+    let k = ref xa.(v) in
+    Graph.iter_neighbors g v (fun w ->
+        ad.(!k) <- w;
+        incr k)
+  done;
+  (xa, ad)
+
+let flat_rows t xa ad u src dst lo hi =
+  let deg = t.deg and sqrt_deg = t.sqrt_deg in
+  for v = lo to hi - 1 do
+    if is_alive t v then begin
+      if deg.(v) = 0 then dst.(v) <- src.(v)
+      else begin
+        let acc = ref 0.0 in
+        for k = xa.(v) to xa.(v + 1) - 1 do
+          acc := !acc +. u.(Array.unsafe_get ad k)
+        done;
+        dst.(v) <- src.(v) +. (!acc /. sqrt_deg.(v))
+      end
+    end
+    else dst.(v) <- 0.0
+  done
+
+let with_apply_fast t f =
+  let u = Array.make t.n 0.0 in
+  let rows =
+    match t.view with
+    | Gview.Csr g ->
+      let xa, ad = flat_adjacency g t.n in
+      flat_rows t xa ad
+    | Gview.Implicit _ -> apply_rows_fast t
+  in
+  if t.domains > 1 && t.n >= par_node_threshold then
+    Fn_parallel.Par.Pool.with_pool ~domains:t.domains (fun pool ->
+        let workers = Fn_parallel.Par.Pool.size pool in
+        let chunk = (t.n + workers - 1) / workers in
+        f (fun src dst ->
+            Fn_parallel.Par.Pool.run pool (fun w ->
+                let lo = w * chunk in
+                let hi = min t.n (lo + chunk) in
+                if lo < hi then scale_source t u src lo hi);
+            Fn_parallel.Par.Pool.run pool (fun w ->
+                let lo = w * chunk in
+                let hi = min t.n (lo + chunk) in
+                if lo < hi then rows u src dst lo hi)))
+  else
+    f (fun src dst ->
+        scale_source t u src 0 t.n;
+        rows u src dst 0 t.n)
+
+let dot t a b =
+  let acc = ref 0.0 in
+  for i = 0 to t.n - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let deflate t extra y =
+  List.iter
+    (fun u ->
+      let c = dot t y u in
+      for i = 0 to t.n - 1 do
+        y.(i) <- y.(i) -. (c *. u.(i))
+      done)
+    (t.v1 :: extra)
+
+let normalize t y =
+  let nrm = sqrt (dot t y y) in
+  if nrm > 0.0 then
+    for i = 0 to t.n - 1 do
+      y.(i) <- y.(i) /. nrm
+    done;
+  nrm
+
+(* deterministic pseudo-random start; the phase offset lets deflated
+   or restarted iterations begin elsewhere *)
+let cold_start t ~phase =
+  Array.init t.n (fun i ->
+      if is_alive t i then cos (float_of_int (((i + phase) * 7919) + phase)) else 0.0)
+
+let lift t x =
+  Array.init t.n (fun i -> if is_alive t i then x.(i) *. t.sqrt_deg.(i) else 0.0)
+
+let embed t y =
+  Array.init t.n (fun v ->
+      if is_alive t v && t.deg.(v) > 0 then y.(v) /. t.sqrt_deg.(v) else 0.0)

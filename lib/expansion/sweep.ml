@@ -1,8 +1,15 @@
 open Fn_graph
 
-let best_prefix ?alive g ~score objective =
-  let n = Graph.num_nodes g in
+let best_prefix_v ?alive view ~score objective =
+  let n = Gview.num_nodes view in
   if Array.length score <> n then invalid_arg "Sweep.best_prefix: score length mismatch";
+  (* match the view once: the sweep's inner loop only needs a neighbor
+     iterator *)
+  let iter =
+    match view with
+    | Gview.Csr g -> Graph.iter_neighbors g
+    | Gview.Implicit r -> r.Gview.iter_neighbors
+  in
   let is_alive v = match alive with None -> true | Some m -> Bitset.mem m v in
   let order =
     let arr =
@@ -31,7 +38,7 @@ let best_prefix ?alive g ~score objective =
     (* v enters U *)
     if count.(v) > 0 then decr node_boundary;
     in_u.(v) <- true;
-    Graph.iter_neighbors g v (fun w ->
+    iter v (fun w ->
         if is_alive w then begin
           if in_u.(w) then edge_boundary := !edge_boundary - 1
           else begin
@@ -59,6 +66,12 @@ let best_prefix ?alive g ~score objective =
   done;
   { Cut.set; value = !best_val; objective }
 
-let spectral_cut ?alive g objective =
-  let r = Spectral.lambda2 ?alive g in
-  best_prefix ?alive g ~score:r.Spectral.fiedler objective
+let best_prefix ?alive g ~score objective =
+  best_prefix_v ?alive (Gview.Csr g) ~score objective
+
+let spectral_cut_v ?alive ?domains ?method_ view objective =
+  let r = Spectral.lambda2_v ?alive ?domains ?method_ view in
+  best_prefix_v ?alive view ~score:r.Spectral.fiedler objective
+
+let spectral_cut ?alive ?domains ?method_ g objective =
+  spectral_cut_v ?alive ?domains ?method_ (Gview.Csr g) objective

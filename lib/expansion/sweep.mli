@@ -12,5 +12,28 @@ val best_prefix : ?alive:Bitset.t -> Graph.t -> score:float array -> Cut.objecti
     ascending-score order, restricted to alive nodes.  Raises
     [Invalid_argument] if fewer than 2 alive nodes. *)
 
-val spectral_cut : ?alive:Bitset.t -> Graph.t -> Cut.objective -> Cut.t
-(** Convenience: Fiedler vector + {!best_prefix}. *)
+val best_prefix_v :
+  ?alive:Bitset.t -> Gview.t -> score:float array -> Cut.objective -> Cut.t
+(** {!best_prefix} over any {!Gview.t}; the view is matched once and
+    the sweep drives its neighbor iterator. *)
+
+val spectral_cut :
+  ?alive:Bitset.t ->
+  ?domains:int ->
+  ?method_:Spectral.Method.t ->
+  Graph.t ->
+  Cut.objective ->
+  Cut.t
+(** Convenience: Fiedler vector + {!best_prefix}.  [domains] and
+    [method_] are forwarded to {!Spectral.lambda2} — the matvec
+    dominates this path, and before [domains] was threaded through
+    here the spectral solve silently serialized inside
+    otherwise-parallel callers. *)
+
+val spectral_cut_v :
+  ?alive:Bitset.t ->
+  ?domains:int ->
+  ?method_:Spectral.Method.t ->
+  Gview.t ->
+  Cut.objective ->
+  Cut.t

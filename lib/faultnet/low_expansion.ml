@@ -75,7 +75,7 @@ let exact_on_fragment_implicit objective ~alive view ~threshold =
     else None
   end
 
-let default ?rng ?domains objective ~alive g ~threshold =
+let default ?rng ?domains ?method_ objective ~alive g ~threshold =
   let size = Bitset.cardinal alive in
   if size < 2 then None
   else
@@ -85,13 +85,19 @@ let default ?rng ?domains objective ~alive g ~threshold =
       if size <= exact_limit then exact_on_fragment objective ~alive g ~threshold
       else begin
         let rng = match rng with Some r -> r | None -> Rng.create 0x10E5 in
-        let est = Estimate.run ~alive ~rng ?domains g objective in
+        let est = Estimate.run ~alive ~rng ?domains ?method_ g objective in
         if est.Estimate.value <= threshold then Some est.Estimate.witness else None
       end
 
-let default_v ?rng ?domains objective ~alive view ~threshold =
+(* Memory guard for the implicit-arm spectral path: the Krylov basis
+   holds up to 16 vectors of n floats, so beyond this alive count the
+   spectral witness would cost hundreds of MB and the ball slice runs
+   alone. *)
+let spectral_node_cap = 500_000
+
+let default_v ?rng ?domains ?method_ objective ~alive view ~threshold =
   match view with
-  | Gview.Csr g -> default ?rng ?domains objective ~alive g ~threshold
+  | Gview.Csr g -> default ?rng ?domains ?method_ objective ~alive g ~threshold
   | Gview.Implicit _ -> (
     let size = Bitset.cardinal alive in
     if size < 2 then None
@@ -102,10 +108,24 @@ let default_v ?rng ?domains objective ~alive view ~threshold =
         if size <= exact_limit then
           exact_on_fragment_implicit objective ~alive view ~threshold
         else begin
-          (* no spectral sweep without a CSR matvec: the implicit arm
-             runs the BFS-ball slice of the portfolio only *)
           let rng = match rng with Some r -> r | None -> Rng.create 0x10E5 in
-          match Estimate.ball_witness_v ~alive ~rng view objective with
+          let ball = Estimate.ball_witness_v ~alive ~rng view objective in
+          (* the registry's Gview-capable operator lets implicit
+             topologies run a spectral sweep too; best of both slices *)
+          let spectral =
+            if size <= spectral_node_cap then
+              Option.map
+                (fun (cut, _, _) -> cut)
+                (Estimate.spectral_witness_v ~alive ?domains ?method_ view objective)
+            else None
+          in
+          let best =
+            match (ball, spectral) with
+            | Some a, Some b -> Some (Cut.better a b)
+            | (Some _ as s), None | None, (Some _ as s) -> s
+            | None, None -> None
+          in
+          match best with
           | Some cut when cut.Cut.value <= threshold -> Some cut.Cut.set
           | Some _ | None -> None
         end)

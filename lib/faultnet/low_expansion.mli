@@ -21,22 +21,33 @@ type t_v = alive:Bitset.t -> Gview.t -> threshold:float -> Bitset.t option
 val exact_limit : int
 (** Fragment size up to which the exact finder is used (18). *)
 
-val default : ?rng:Rng.t -> ?domains:int -> Fn_expansion.Cut.objective -> t
+val default :
+  ?rng:Rng.t ->
+  ?domains:int ->
+  ?method_:Fn_expansion.Spectral.Method.t ->
+  Fn_expansion.Cut.objective ->
+  t
 (** Portfolio finder: disconnected fragments yield a small component
     immediately; fragments of at most {!exact_limit} alive nodes are
     solved exactly; larger ones use the heuristic estimator.
-    [domains] is forwarded to {!Fn_expansion.Estimate.run} (default
-    1: sequential, byte-reproducible). *)
+    [domains] and [method_] (the spectral backend; default [Auto])
+    are forwarded to {!Fn_expansion.Estimate.run} (defaults:
+    sequential, byte-reproducible). *)
 
-val default_v : ?rng:Rng.t -> ?domains:int -> Fn_expansion.Cut.objective -> t_v
+val default_v :
+  ?rng:Rng.t ->
+  ?domains:int ->
+  ?method_:Fn_expansion.Spectral.Method.t ->
+  Fn_expansion.Cut.objective ->
+  t_v
 (** {!default} over views.  The CSR arm delegates to {!default}
-    unchanged (byte-identical results).  On the implicit arm the
-    portfolio is narrower: disconnection witnesses and exact small
-    fragments work as before (small fragments are induced into a
-    throwaway CSR), but large fragments run only the BFS-ball slice
-    ({!Fn_expansion.Estimate.ball_witness_v}) — the spectral sweep
-    needs a CSR matvec.  A [None] is correspondingly weaker evidence
-    of high expansion on implicit views. *)
+    unchanged (byte-identical results).  On the implicit arm large
+    fragments run the BFS-ball slice plus — now that the spectral
+    operator is {!Gview.t}-capable — the spectral sweep
+    ({!Fn_expansion.Estimate.spectral_witness_v}), keeping the better
+    witness.  The spectral slice is skipped above 500k alive nodes
+    (the Krylov basis would cost hundreds of MB); a [None] is
+    correspondingly weaker evidence of high expansion there. *)
 
 val exact : Fn_expansion.Cut.objective -> t
 (** Exact only; raises [Invalid_argument] beyond {!exact_limit}. *)

@@ -1,0 +1,297 @@
+(* The spectral backend registry: differential agreement of the Krylov
+   methods against the bit-exact Power reference, seeded determinism
+   and bit-stability across domains, auto-selection policy, and the
+   method-aware entry points (Gview path, warm starts, metrics). *)
+
+open Fn_expansion
+open Testutil
+
+let krylov_methods = [ Spectral.Method.Lanczos; Spectral.Method.Shift_invert ]
+
+let bits_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* Power needs headroom beyond its default 1000 iterations on the
+   slow-mixing families (C64's eigenvalue ratio is ~0.993); the Krylov
+   methods converge orders of magnitude sooner. *)
+let power_ref ?alive g = Spectral.lambda2 ?alive ~method_:Spectral.Method.Power ~max_iter:20_000 g
+
+let families () =
+  [
+    ("cycle64", Fn_topology.Basic.cycle 64);
+    ("mesh16x16", fst (Fn_topology.Mesh.graph [| 16; 16 |]));
+    ("torus16x16", fst (Fn_topology.Torus.graph [| 16; 16 |]));
+    ("hypercube6", Fn_topology.Hypercube.graph 6);
+    ("expander512", Fn_topology.Expander.random_regular (Fn_prng.Rng.create 7) ~n:512 ~d:6);
+    ("barbell8", Fn_topology.Basic.barbell 8);
+  ]
+
+let test_differential_families () =
+  List.iter
+    (fun (name, g) ->
+      let reference = power_ref g in
+      List.iter
+        (fun m ->
+          let r = Spectral.lambda2 ~method_:m ~max_iter:20_000 g in
+          check_float_eps 1e-6
+            (Printf.sprintf "%s: %s lambda2 agrees with power" name
+               (Spectral.Method.to_string m))
+            reference.Spectral.lambda2 r.Spectral.lambda2)
+        krylov_methods)
+    (families ())
+
+let post_prune_case () =
+  (* the adversarial shape from the paper's pipeline: iid node faults
+     on a mesh cube, then Prune's survivor mask *)
+  let g, _ = Fn_topology.Mesh.cube ~d:2 ~side:16 in
+  let faults = Fn_faults.Random_faults.nodes_iid (Fn_prng.Rng.create 3) g 0.15 in
+  let res =
+    Faultnet.Prune.run ~rng:(Fn_prng.Rng.create 5) g
+      ~alive:faults.Fn_faults.Fault_set.alive ~alpha:0.17 ~epsilon:0.5
+  in
+  (g, res.Faultnet.Prune.kept)
+
+let test_differential_post_prune () =
+  let g, kept = post_prune_case () in
+  let reference = power_ref ~alive:kept g in
+  List.iter
+    (fun m ->
+      let r = Spectral.lambda2 ~alive:kept ~method_:m ~max_iter:20_000 g in
+      check_float_eps 1e-6
+        (Printf.sprintf "post-prune: %s agrees with power" (Spectral.Method.to_string m))
+        reference.Spectral.lambda2 r.Spectral.lambda2)
+    krylov_methods
+
+let test_deterministic_reruns () =
+  (* no Fn_prng state is drawn anywhere: the same call twice must give
+     the same bits, for every backend *)
+  let g = Fn_topology.Expander.random_regular (Fn_prng.Rng.create 11) ~n:400 ~d:6 in
+  List.iter
+    (fun m ->
+      let a = Spectral.lambda2 ~method_:m g in
+      let b = Spectral.lambda2 ~method_:m g in
+      check_bool
+        (Printf.sprintf "%s lambda2 bitwise deterministic" (Spectral.Method.to_string m))
+        true
+        (bits_equal a.Spectral.lambda2 b.Spectral.lambda2);
+      check_bool
+        (Printf.sprintf "%s fiedler bitwise deterministic" (Spectral.Method.to_string m))
+        true
+        (Array.for_all2 bits_equal a.Spectral.fiedler b.Spectral.fiedler))
+    (Spectral.Method.Power :: krylov_methods)
+
+let test_domains_bitwise_identical_per_method () =
+  (* the chunked matvec contract extends to every backend: 1024 nodes
+     clears the parallel threshold, and each matrix row's FP order is
+     domain-count-independent *)
+  let g = Fn_topology.Expander.random_regular (Fn_prng.Rng.create 99) ~n:1024 ~d:6 in
+  List.iter
+    (fun m ->
+      let a = Spectral.lambda2 ~method_:m g in
+      List.iter
+        (fun domains ->
+          let b = Spectral.lambda2 ~method_:m ~domains g in
+          check_bool
+            (Printf.sprintf "%s lambda2 bits equal, domains=%d"
+               (Spectral.Method.to_string m) domains)
+            true
+            (bits_equal a.Spectral.lambda2 b.Spectral.lambda2);
+          check_bool
+            (Printf.sprintf "%s fiedler bits equal, domains=%d"
+               (Spectral.Method.to_string m) domains)
+            true
+            (Array.for_all2 bits_equal a.Spectral.fiedler b.Spectral.fiedler))
+        [ 2; 3; 4 ])
+    (Spectral.Method.Power :: krylov_methods)
+
+let test_auto_selection () =
+  let open Spectral.Method in
+  check_bool "small resolves to power" true (select ~n_alive:100 Auto = Power);
+  check_bool "below threshold stays power" true
+    (select ~n_alive:(power_max_nodes - 1) Auto = Power);
+  check_bool "large resolves to lanczos" true (select ~n_alive:200_000 Auto = Lanczos);
+  check_bool "collapsed gap hint resolves to shift-invert" true
+    (select ~n_alive:200_000 ~gap_hint:1e-8 Auto = Shift_invert);
+  check_bool "healthy gap hint stays lanczos" true
+    (select ~n_alive:200_000 ~gap_hint:0.1 Auto = Lanczos);
+  check_bool "gap hint ignored at small n" true
+    (select ~n_alive:100 ~gap_hint:1e-8 Auto = Power);
+  List.iter
+    (fun m ->
+      check_bool
+        (Printf.sprintf "explicit %s passes through" (to_string m))
+        true
+        (select ~n_alive:1_000_000 m = m))
+    [ Power; Lanczos; Shift_invert ]
+
+let test_method_names_roundtrip () =
+  List.iter
+    (fun m ->
+      match Spectral.Method.of_string (Spectral.Method.to_string m) with
+      | Some m' -> check_bool (Spectral.Method.to_string m ^ " roundtrips") true (m = m')
+      | None -> Alcotest.failf "of_string failed for %s" (Spectral.Method.to_string m))
+    Spectral.Method.all;
+  check_bool "unknown rejected" true (Spectral.Method.of_string "qr" = None)
+
+let test_implicit_view_spectral_path () =
+  (* the tentpole's Gview capability: an implicit torus gets the same
+     lambda2 as its materialized CSR, for the reference and for the
+     Krylov methods *)
+  let implicit = Fn_topology.Implicit.torus [| 12; 12 |] in
+  let csr, _ = Fn_topology.Torus.graph [| 12; 12 |] in
+  let reference = power_ref csr in
+  List.iter
+    (fun m ->
+      let r = Spectral.lambda2_v ~method_:m ~max_iter:20_000 implicit in
+      check_float_eps 1e-6
+        (Printf.sprintf "implicit torus %s agrees" (Spectral.Method.to_string m))
+        reference.Spectral.lambda2 r.Spectral.lambda2)
+    (Spectral.Method.Power :: krylov_methods)
+
+let test_warm_starts_method_aware () =
+  (* a cached Fiedler pair must seed every backend and land on the
+     same lambda2 as the cold solve *)
+  let g = Fn_topology.Expander.random_regular (Fn_prng.Rng.create 31) ~n:600 ~d:6 in
+  let cold, f2 = Spectral.solve g in
+  let warm = (cold.Spectral.fiedler, f2) in
+  List.iter
+    (fun m ->
+      let r, _ = Spectral.solve ~warm ~method_:m g in
+      check_float_eps 1e-6
+        (Printf.sprintf "warm %s matches cold lambda2" (Spectral.Method.to_string m))
+        cold.Spectral.lambda2 r.Spectral.lambda2;
+      check_bool
+        (Printf.sprintf "warm %s converges faster than cold" (Spectral.Method.to_string m))
+        true
+        (r.Spectral.iterations <= cold.Spectral.iterations))
+    (Spectral.Method.Power :: krylov_methods)
+
+let test_solve_histogram_observes_total () =
+  (* regression for the satellite bugfix: the spectral.iterations
+     histogram used to observe only the first vector's count while the
+     span reported it1 + it2 — the observed value must now exceed
+     result.iterations (which stays it1 for Power) *)
+  let g = Fn_topology.Basic.cycle 32 in
+  let h =
+    Fn_obs.Metrics.histogram
+      ~buckets:[| 1.0; 3.0; 10.0; 30.0; 100.0; 300.0; 1000.0 |]
+      "spectral.iterations"
+  in
+  let sum_before = Fn_obs.Metrics.histogram_sum h in
+  let count_before = Fn_obs.Metrics.histogram_count h in
+  let sink, events = Fn_obs.Sink.memory () in
+  let r, _ = Spectral.solve ~obs:sink g in
+  let observed = Fn_obs.Metrics.histogram_sum h -. sum_before in
+  check_int "one observation" 1 (Fn_obs.Metrics.histogram_count h - count_before);
+  check_bool "histogram observes more than the first vector's count" true
+    (observed > float_of_int r.Spectral.iterations);
+  (* and it agrees with what the span reports *)
+  let span_total =
+    List.find_map
+      (fun e ->
+        if e.Fn_obs.Sink.kind = Fn_obs.Sink.Exit && e.Fn_obs.Sink.name = "spectral.solve"
+        then
+          List.find_map
+            (fun (k, v) ->
+              match v with Fn_obs.Sink.Int i when k = "iterations" -> Some i | _ -> None)
+            e.Fn_obs.Sink.fields
+        else None)
+      (events ())
+  in
+  match span_total with
+  | Some total -> check_float_eps 1e-9 "histogram total = span total" (float_of_int total) observed
+  | None -> Alcotest.fail "no spectral.solve exit span recorded"
+
+let test_spectral_cut_domains_matches_default () =
+  (* satellite regression: Sweep.spectral_cut now threads ?domains and
+     ?method_ — domains:1 must equal the default byte for byte, and
+     domains:2 must too (matvec and sweeps are bit-stable across
+     domains) *)
+  let g = fst (Fn_topology.Mesh.graph [| 16; 16 |]) in
+  let base = Sweep.spectral_cut g Cut.Edge in
+  List.iter
+    (fun (name, c) ->
+      check_bool (name ^ " same set") true (Fn_graph.Bitset.equal c.Cut.set base.Cut.set);
+      check_bool (name ^ " same value bits") true (bits_equal c.Cut.value base.Cut.value))
+    [
+      ("domains 1", Sweep.spectral_cut ~domains:1 g Cut.Edge);
+      ("domains 2", Sweep.spectral_cut ~domains:2 g Cut.Edge);
+      ("explicit power", Sweep.spectral_cut ~method_:Spectral.Method.Power g Cut.Edge);
+    ]
+
+let test_warm_gate_rejects_single_vector_drift () =
+  (* satellite regression: the Warm reuse gate must check BOTH cached
+     vectors' residuals.  Find a mask drift where x1 stays healthy but
+     x2 degrades, place the tolerance between the two residuals, and
+     check the engine falls back cold — the old first-vector-only gate
+     would have reused the stale pair. *)
+  let module Warm = Fn_online.Warm in
+  let g = Fn_topology.Expander.random_regular (Fn_prng.Rng.create 21) ~n:400 ~d:6 in
+  let n = Fn_graph.Graph.num_nodes g in
+  let full = Fn_graph.Bitset.create_full n in
+  let seed = 77 in
+  (* replicate the pair Warm caches on its first compute (same seed
+     derivation as Warm.warm_compute) *)
+  let est =
+    Estimate.run ~alive:full ~rng:(Fn_prng.Rng.create (seed lxor 0x0A11CE)) g Cut.Node
+  in
+  let x1, x2 =
+    match est.Estimate.fiedler_pair with
+    | Some p -> p
+    | None -> Alcotest.fail "no fiedler pair on the heuristic arm"
+  in
+  (* scan single-node removals for the widest r2-over-r1 separation *)
+  let best = ref None in
+  for v = 0 to n - 1 do
+    let kept = Fn_graph.Bitset.copy full in
+    Fn_graph.Bitset.remove kept v;
+    let r1 = Spectral.residual ~alive:kept g x1 in
+    let r2 = Spectral.residual ~alive:kept g x2 in
+    if r2 > r1 then begin
+      match !best with
+      | Some (_, br1, br2) when br2 -. br1 >= r2 -. r1 -> ()
+      | _ -> best := Some (kept, r1, r2)
+    end
+  done;
+  match !best with
+  | None -> Alcotest.fail "no drift candidate found"
+  | Some (kept, r1, r2) ->
+    let tol = 0.5 *. (r1 +. r2) in
+    check_bool "x1 under the gate, x2 over it" true (r1 <= tol && r2 > tol);
+    let view = Fn_graph.Gview.Csr g in
+    let t = Warm.create ~mode:Warm.Warm ~residual_tol:tol seed in
+    ignore (Warm.query t view ~kept:full);
+    ignore (Warm.query t view ~kept);
+    check_int "cold fall on x2 drift" 1 (Warm.cold_falls t);
+    check_int "no warm hit on x2 drift" 0 (Warm.warm_hits t);
+    (* with the tolerance above both residuals the same drift reuses
+       the pair — the gate reads the vectors, not the mask *)
+    let t2 = Warm.create ~mode:Warm.Warm ~residual_tol:(r2 +. 1.0) seed in
+    ignore (Warm.query t2 view ~kept:full);
+    ignore (Warm.query t2 view ~kept);
+    check_int "warm hit when both pass" 1 (Warm.warm_hits t2);
+    check_int "no cold fall when both pass" 0 (Warm.cold_falls t2)
+
+let () =
+  Alcotest.run "spectral_methods"
+    [
+      ( "differential",
+        [
+          case "generator families" test_differential_families;
+          case "post-prune mask" test_differential_post_prune;
+          case "implicit view path" test_implicit_view_spectral_path;
+        ] );
+      ( "determinism",
+        [
+          case "bitwise reruns" test_deterministic_reruns;
+          case "domains bit-stability" test_domains_bitwise_identical_per_method;
+          case "spectral_cut domains matches default" test_spectral_cut_domains_matches_default;
+        ] );
+      ( "registry",
+        [
+          case "auto selection" test_auto_selection;
+          case "method names roundtrip" test_method_names_roundtrip;
+          case "warm starts method-aware" test_warm_starts_method_aware;
+          case "warm gate rejects single-vector drift" test_warm_gate_rejects_single_vector_drift;
+          case "histogram observes total iterations" test_solve_histogram_observes_total;
+        ] );
+    ]
